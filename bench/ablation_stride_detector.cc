@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Stride-detector (RPT) size ablation: the paper budgets a 32-entry
+ * detector (460 bytes); sweeping 4/8/16/32/64 entries shows how much
+ * table pressure the benchmarks generate (kernels with several
+ * concurrent stride streams thrash small tables and lose triggers).
+ */
+
+#include "bench_common.hh"
+
+#include <iomanip>
+
+using namespace vrsim;
+using namespace vrsim::bench;
+
+int
+main()
+{
+    BenchEnv env = BenchEnv::fromEnv();
+    printHeader("Ablation: stride detector entries", env);
+
+    const uint32_t sizes[] = {4, 8, 16, 32, 64};
+    std::vector<std::string> specs = {"bfs/KR", "sssp/KR", "nas-cg",
+                                      "camel", "graph500"};
+
+    std::cout << std::left << std::setw(12) << "benchmark";
+    for (uint32_t n : sizes)
+        std::cout << std::right << std::setw(10)
+                  << (std::to_string(n) + "e");
+    std::cout << "\n";
+
+    for (const auto &spec : specs) {
+        SimResult base = env.run(spec, Technique::OoO);
+        std::printf("%-12s", spec.c_str());
+        for (uint32_t n : sizes) {
+            SystemConfig cfg = env.cfg;
+            cfg.runahead.stride_entries = n;
+            SimResult r = runSimulation(spec, Technique::Dvr, cfg,
+                                        env.gscale, env.hscale,
+                                        env.roi + env.warmup,
+                                        env.warmup);
+            std::printf("%10.3f", r.ipc() / base.ipc());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Vector-width ablation (paper §6.1 discussion): DVR with 32, 64,
+ * 128 and 256 scalar-equivalent lanes. The paper notes NAS-CG/NAS-IS
+ * would need 256-element DVR to reach Oracle performance on a large
+ * core.
+ */
+
+#include "bench_common.hh"
+
+#include <iomanip>
+
+using namespace vrsim;
+using namespace vrsim::bench;
+
+int
+main()
+{
+    BenchEnv env = BenchEnv::fromEnv();
+    printHeader("Ablation: DVR vector width (lanes)", env);
+
+    // Lane counts are vector_regs x lanes_per_vector; we scale the
+    // number of vector registers (the paper's suggestion: wider DVR
+    // units need a larger VRAT).
+    const uint32_t widths[] = {32, 64, 128, 256};
+
+    std::vector<std::string> specs = {"nas-cg", "nas-is", "camel",
+                                      "kangaroo", "bfs/KR", "sssp/KR"};
+
+    std::cout << std::left << std::setw(16) << "benchmark";
+    for (uint32_t w : widths)
+        std::cout << std::right << std::setw(10)
+                  << (std::to_string(w) + "ln");
+    std::cout << std::right << std::setw(10) << "Oracle" << "\n";
+
+    for (const auto &spec : specs) {
+        SimResult base = env.run(spec, Technique::OoO);
+        std::printf("%-16s", spec.c_str());
+        for (uint32_t wdt : widths) {
+            SystemConfig cfg = env.cfg;
+            cfg.runahead.vector_regs = wdt / cfg.runahead.lanes_per_vector;
+            SimResult r = runSimulation(spec, Technique::Dvr, cfg,
+                                        env.gscale, env.hscale,
+                                        env.roi + env.warmup,
+                                        env.warmup);
+            std::printf("%10.3f", r.ipc() / base.ipc());
+        }
+        SimResult orc = env.run(spec, Technique::Oracle);
+        std::printf("%10.3f\n", orc.ipc() / base.ipc());
+    }
+    return 0;
+}

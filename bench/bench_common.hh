@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure experiment binaries: scaled
+ * inputs (overridable via environment), the technique list, and
+ * uniform header printing.
+ *
+ * Environment knobs:
+ *   VRSIM_NODES   graph nodes (default 16384)
+ *   VRSIM_DEGREE  average degree (default 16)
+ *   VRSIM_ELEMS   hpc-db element count (default 65536)
+ *   VRSIM_ROI     instruction budget per run (default 150000)
+ *   VRSIM_WARMUP  leading instructions excluded from stats
+ *                 (default 25000; caches/predictors stay warm)
+ */
+
+#ifndef VRSIM_BENCH_COMMON_HH
+#define VRSIM_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/simulation.hh"
+
+namespace vrsim::bench
+{
+
+inline uint64_t
+envU64(const char *name, uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 0) : dflt;
+}
+
+/** Scaled-input environment shared by all experiment binaries. */
+struct BenchEnv
+{
+    GraphScale gscale;
+    HpcDbScale hscale;
+    uint64_t roi = 150'000;
+    uint64_t warmup = 25'000;
+    SystemConfig cfg = SystemConfig::benchScale();
+
+    static BenchEnv
+    fromEnv()
+    {
+        BenchEnv e;
+        e.gscale.nodes = envU64("VRSIM_NODES", 1 << 14);
+        e.gscale.avg_degree = envU64("VRSIM_DEGREE", 16);
+        e.hscale.elements = envU64("VRSIM_ELEMS", 1 << 16);
+        e.roi = envU64("VRSIM_ROI", 150'000);
+        e.warmup = envU64("VRSIM_WARMUP", 25'000);
+        return e;
+    }
+
+    SimResult
+    run(const std::string &spec, Technique t) const
+    {
+        return runSimulation(spec, t, cfg, gscale, hscale,
+                             roi + warmup, warmup);
+    }
+};
+
+inline void
+printHeader(const std::string &title, const BenchEnv &env)
+{
+    std::cout << "=== " << title << " ===\n";
+    std::cout << "inputs: " << env.gscale.nodes << " nodes, degree "
+              << env.gscale.avg_degree << "; hpc-db "
+              << env.hscale.elements << " elements; ROI " << env.roi
+              << " insts after " << env.warmup << " warmup\n";
+    printConfig(std::cout, env.cfg);
+    std::cout << "\n";
+}
+
+} // namespace vrsim::bench
+
+#endif // VRSIM_BENCH_COMMON_HH

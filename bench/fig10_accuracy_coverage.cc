@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 10: accuracy & coverage — total DRAM accesses normalized to
+ * the OoO baseline, split into main-thread and runahead fractions,
+ * for VR and DVR. VR over-fetches (its total can exceed 2x); DVR's
+ * Discovery Mode keeps the total near 1x while shifting most fills
+ * into runahead (coverage).
+ */
+
+#include "bench_common.hh"
+
+#include <iomanip>
+
+using namespace vrsim;
+using namespace vrsim::bench;
+
+int
+main()
+{
+    BenchEnv env = BenchEnv::fromEnv();
+    printHeader("Figure 10: DRAM accesses vs OoO (main + runahead)",
+                env);
+
+    std::vector<std::string> specs;
+    for (const auto &k : gapKernelNames())
+        specs.push_back(k + "/KR");
+    for (const auto &n : hpcDbNames())
+        specs.push_back(n);
+
+    std::cout << std::left << std::setw(16) << "benchmark"
+              << std::right << std::setw(10) << "VR-main"
+              << std::setw(10) << "VR-ra" << std::setw(10) << "VR-tot"
+              << std::setw(10) << "DVR-main" << std::setw(10)
+              << "DVR-ra" << std::setw(10) << "DVR-tot" << "\n";
+
+    double vr_tot_sum = 0, dvr_tot_sum = 0;
+    for (const auto &spec : specs) {
+        SimResult base = env.run(spec, Technique::OoO);
+        double denom = double(std::max<uint64_t>(1, base.mem.dramTotal()));
+        SimResult vr = env.run(spec, Technique::Vr);
+        SimResult dvr = env.run(spec, Technique::Dvr);
+
+        double vm = vr.dramMain() / denom;
+        double vr_ra = vr.dramRunahead() / denom;
+        double dm = dvr.dramMain() / denom;
+        double dvr_ra = dvr.dramRunahead() / denom;
+        vr_tot_sum += vm + vr_ra;
+        dvr_tot_sum += dm + dvr_ra;
+
+        std::printf("%-16s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+                    spec.c_str(), vm, vr_ra, vm + vr_ra, dm, dvr_ra,
+                    dm + dvr_ra);
+    }
+    std::printf("%-16s %29.2f %29.2f\n", "mean-total",
+                vr_tot_sum / double(specs.size()),
+                dvr_tot_sum / double(specs.size()));
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 2: performance of the OoO core and VR as a function of ROB
+ * size (128-512), normalized to the 350-entry-ROB OoO baseline, plus
+ * the fraction of stall time due to a full ROB. The paper's point:
+ * VR's benefit diminishes as the ROB grows because the trigger
+ * (full-ROB stall) becomes rare.
+ */
+
+#include "bench_common.hh"
+
+using namespace vrsim;
+using namespace vrsim::bench;
+
+int
+main()
+{
+    BenchEnv env = BenchEnv::fromEnv();
+    printHeader("Figure 2: OoO and VR vs ROB size", env);
+
+    const uint32_t robs[] = {128, 192, 224, 350, 512};
+
+    // Baseline: 350-entry OoO per benchmark.
+    std::vector<std::string> specs = gapBenchmarkSpecs();
+    // Keep the sweep tractable: use the KR and UR inputs (the paper's
+    // extremes) for every kernel.
+    specs.clear();
+    for (const auto &k : gapKernelNames()) {
+        specs.push_back(k + "/KR");
+        specs.push_back(k + "/UR");
+    }
+
+    std::cout << "rows: ROB size; cells: h-mean speedup vs OoO-350, "
+                 "and %cycles dispatch-stalled on full ROB (OoO)\n\n";
+    std::cout << "ROB     OoO-IPCn    VR-IPCn     VR/OoO      "
+                 "robstall%\n";
+
+    // Per-benchmark baseline IPCs at ROB=350.
+    std::vector<double> base_ipc;
+    for (const auto &s : specs)
+        base_ipc.push_back(env.run(s, Technique::OoO).ipc());
+
+    for (uint32_t rob : robs) {
+        SystemConfig cfg = env.cfg;
+        cfg.core.rob_size = rob;
+        std::vector<double> ooo_n, vr_n;
+        double stall_frac = 0;
+        for (size_t i = 0; i < specs.size(); i++) {
+            SimResult o = runSimulation(specs[i], Technique::OoO, cfg,
+                                        env.gscale, env.hscale,
+                                        env.roi + env.warmup,
+                                        env.warmup);
+            SimResult v = runSimulation(specs[i], Technique::Vr, cfg,
+                                        env.gscale, env.hscale,
+                                        env.roi + env.warmup,
+                                        env.warmup);
+            ooo_n.push_back(o.ipc() / base_ipc[i]);
+            vr_n.push_back(v.ipc() / base_ipc[i]);
+            stall_frac += o.core.cycles
+                ? double(o.core.rob_stall_cycles + o.core.stall_lq) /
+                      double(o.core.cycles)
+                : 0.0;
+        }
+        std::printf("%-7u %-11.3f %-11.3f %-11.3f %.1f\n", rob,
+                    harmonicMean(ooo_n), harmonicMean(vr_n),
+                    harmonicMean(vr_n) / harmonicMean(ooo_n),
+                    100.0 * stall_frac / double(specs.size()));
+    }
+    return 0;
+}

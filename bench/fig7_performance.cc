@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 7: normalized performance of PRE, IMP, VR, DVR and Oracle
+ * relative to the baseline OoO core for every benchmark-input
+ * combination, with harmonic means. Also prints the §4.4 hardware
+ * budget so the headline "1139 bytes" claim is visible next to the
+ * headline speedups.
+ */
+
+#include "bench_common.hh"
+
+#include "runahead/hardware_budget.hh"
+
+using namespace vrsim;
+using namespace vrsim::bench;
+
+int
+main()
+{
+    BenchEnv env = BenchEnv::fromEnv();
+    printHeader("Figure 7: speedup over OoO baseline", env);
+
+    const std::vector<Technique> techs = {
+        Technique::Pre, Technique::Imp, Technique::Vr, Technique::Dvr,
+        Technique::Oracle,
+    };
+    std::vector<std::string> cols;
+    for (Technique t : techs)
+        cols.push_back(techniqueName(t));
+
+    std::vector<std::string> rows;
+    std::vector<std::vector<double>> cells;
+    std::vector<std::vector<double>> per_tech(techs.size());
+
+    for (const std::string &spec : allBenchmarkSpecs()) {
+        SimResult base = env.run(spec, Technique::OoO);
+        std::vector<double> row;
+        for (size_t t = 0; t < techs.size(); t++) {
+            SimResult r = env.run(spec, techs[t]);
+            double speedup = base.ipc() > 0 ? r.ipc() / base.ipc() : 0;
+            row.push_back(speedup);
+            per_tech[t].push_back(speedup);
+        }
+        rows.push_back(spec);
+        cells.push_back(row);
+    }
+
+    std::vector<double> hmean_row;
+    for (size_t t = 0; t < techs.size(); t++)
+        hmean_row.push_back(harmonicMean(per_tech[t]));
+    rows.push_back("H-mean");
+    cells.push_back(hmean_row);
+
+    printSpeedupTable(std::cout, rows, cols, cells);
+
+    std::cout << "\nDVR hardware budget (paper: 1139 bytes):\n";
+    printHardwareBudget(std::cout,
+                        computeHardwareBudget(env.cfg.runahead));
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8: DVR performance breakdown — (1) base VR, (2) +Offload to
+ * the decoupled subthread, (3) +Discovery Mode, (4) +Nested Runahead
+ * Mode — all normalized to the OoO baseline.
+ */
+
+#include "bench_common.hh"
+
+using namespace vrsim;
+using namespace vrsim::bench;
+
+int
+main()
+{
+    BenchEnv env = BenchEnv::fromEnv();
+    printHeader("Figure 8: DVR factor breakdown", env);
+
+    const std::vector<Technique> steps = {
+        Technique::Vr, Technique::DvrOffload, Technique::DvrDiscovery,
+        Technique::Dvr,
+    };
+    std::vector<std::string> cols = {"VR", "+Offload", "+Discovery",
+                                     "+Nested"};
+
+    std::vector<std::string> specs;
+    for (const auto &k : gapKernelNames())
+        specs.push_back(k + "/KR");
+    for (const auto &n : hpcDbNames())
+        specs.push_back(n);
+
+    std::vector<std::string> rows;
+    std::vector<std::vector<double>> cells;
+    std::vector<std::vector<double>> per_step(steps.size());
+
+    for (const auto &spec : specs) {
+        SimResult base = env.run(spec, Technique::OoO);
+        std::vector<double> row;
+        for (size_t s = 0; s < steps.size(); s++) {
+            SimResult r = env.run(spec, steps[s]);
+            double x = base.ipc() > 0 ? r.ipc() / base.ipc() : 0;
+            row.push_back(x);
+            per_step[s].push_back(x);
+        }
+        rows.push_back(spec);
+        cells.push_back(row);
+    }
+    std::vector<double> hrow;
+    for (auto &v : per_step)
+        hrow.push_back(harmonicMean(v));
+    rows.push_back("H-mean");
+    cells.push_back(hrow);
+
+    printSpeedupTable(std::cout, rows, cols, cells);
+    return 0;
+}

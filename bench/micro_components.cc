@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot
+ * components: interpreter throughput, cache access path, branch
+ * predictor, graph generation, and one end-to-end DVR run — useful
+ * for keeping the simulator fast enough for the paper-scale sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "driver/simulation.hh"
+#include "frontend/branch_predictor.hh"
+#include "mem/hierarchy.hh"
+#include "sim/rng.hh"
+
+using namespace vrsim;
+
+namespace
+{
+
+void
+BM_InterpreterLoop(benchmark::State &state)
+{
+    ProgramBuilder b("loop");
+    b.movi(1, 0);
+    b.movi(3, 1u << 20);
+    auto top = b.here();
+    b.addi(1, 1, 1);
+    b.cmpltu(4, 1, 3);
+    b.br(4, top);
+    b.halt();
+    Program p = b.build();
+    MemoryImage mem;
+    for (auto _ : state) {
+        CpuState st;
+        benchmark::DoNotOptimize(run(p, st, mem, 100'000));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+void
+BM_CacheAccessPath(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    MemoryImage img;
+    MemoryHierarchy hier(cfg, img);
+    Rng rng(1);
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        uint64_t addr = rng.below(1u << 24);
+        benchmark::DoNotOptimize(
+            hier.access(addr, 1, cycle, false, Requester::Demand));
+        cycle += 4;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessPath);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    BranchPredictor bp;
+    Rng rng(2);
+    for (auto _ : state) {
+        uint64_t pc = 16 + rng.below(64);
+        bool taken = (rng.next() & 7) != 0;
+        benchmark::DoNotOptimize(bp.predict(pc));
+        bp.update(pc, taken);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_KroneckerGeneration(benchmark::State &state)
+{
+    GraphScale scale;
+    scale.nodes = 1 << 12;
+    for (auto _ : state) {
+        Graph g = makeGraph(GraphInput::Kron, scale);
+        benchmark::DoNotOptimize(g.num_edges);
+    }
+}
+BENCHMARK(BM_KroneckerGeneration);
+
+void
+BM_EndToEndDvr(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    HpcDbScale hs;
+    hs.elements = 1 << 14;
+    for (auto _ : state) {
+        SimResult r = runSimulation("kangaroo", Technique::Dvr, cfg,
+                                    GraphScale{}, hs, 20'000);
+        benchmark::DoNotOptimize(r.core.cycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 20'000);
+}
+BENCHMARK(BM_EndToEndDvr);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+# Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+for b in "$BUILD"/bench/*; do
+    [ -x "$b" ] || continue
+    echo "### $(basename "$b")"
+    "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,394 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace vrsim
+{
+
+namespace
+{
+
+/** PCs handed to the memory hierarchy are offset so pc 0 is valid. */
+uint64_t
+pcKey(uint32_t pc)
+{
+    return uint64_t(pc) + 1;
+}
+
+} // namespace
+
+OooCore::OooCore(const SystemConfig &cfg, const Program &prog,
+                 MemoryImage &image, MemoryHierarchy &hier,
+                 RunaheadEngine *engine)
+    : cfg_(cfg), prog_(prog), image_(image), hier_(hier),
+      engine_(engine), l1i_("l1i", cfg.l1i)
+{
+    const CoreConfig &c = cfg.core;
+    int_add_ = PortBank{c.int_add_units, c.int_add_lat, true, {}};
+    int_mul_ = PortBank{c.int_mul_units, c.int_mul_lat, true, {}};
+    int_div_ = PortBank{c.int_div_units, c.int_div_lat, false, {}};
+    fp_add_ = PortBank{c.fp_add_units, c.fp_add_lat, true, {}};
+    fp_mul_ = PortBank{c.fp_mul_units, c.fp_mul_lat, true, {}};
+    fp_div_ = PortBank{c.fp_div_units, c.fp_div_lat, false, {}};
+    load_ports_ = PortBank{c.load_ports, 1, true, {}};
+    store_ports_ = PortBank{c.store_ports, 1, true, {}};
+}
+
+OooCore::PortBank &
+OooCore::portsFor(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::IntAdd: return int_add_;
+      case FuClass::IntMul: return int_mul_;
+      case FuClass::IntDiv: return int_div_;
+      case FuClass::FpAdd: return fp_add_;
+      case FuClass::FpMul: return fp_mul_;
+      case FuClass::FpDiv: return fp_div_;
+      case FuClass::Load: return load_ports_;
+      case FuClass::Store: return store_ports_;
+      case FuClass::Branch: return int_add_;
+      case FuClass::None: return int_add_;
+    }
+    panic("bad FU class");
+}
+
+CoreStats
+OooCore::run(const CpuState &init, uint64_t max_insts,
+             uint64_t warmup_insts, const std::function<void()> &at_warmup)
+{
+    const CoreConfig &c = cfg_.core;
+    const bool oracle = cfg_.technique == Technique::Oracle;
+    uint64_t budget = max_insts ? max_insts : cfg_.max_insts;
+
+    CoreStats st;
+    CpuState state = init;
+
+    std::array<Cycle, NUM_ARCH_REGS> reg_ready{};
+
+    // Ring buffers modelling structure occupancy: entry i % N holds
+    // the cycle at which the instruction N-before the current one
+    // freed its slot.
+    std::vector<Cycle> rob_ring(c.rob_size, 0);
+    std::vector<uint8_t> rob_head_trigger(c.rob_size, 0);
+    std::vector<Cycle> rob_head_fill(c.rob_size, 0);
+    // Issue-queue occupancy: instructions wait in the IQ from
+    // dispatch to issue, out of order. A slot is free for inst i once
+    // at most IQ-1 older instructions are still waiting, i.e. at the
+    // IQ-th largest issue time among older instructions. We keep the
+    // IQ largest issue times in a min-heap.
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>> iq_heap;
+    // Loads/stores leave their queues at commit (in order), so rings
+    // indexed by load/store count are exact.
+    std::vector<Cycle> lq_ring(c.load_queue, 0);
+    std::vector<uint8_t> lq_trigger(c.load_queue, 0);
+    std::vector<Cycle> lq_fill(c.load_queue, 0);
+    std::vector<Cycle> sq_ring(c.store_queue, 0);
+    std::vector<Cycle> commit_width_ring(c.width, 0);
+    uint64_t load_count = 0;
+    uint64_t store_count = 0;
+
+    Cycle disp_cycle = 0;
+    uint32_t disp_count = 0;
+    Cycle fetch_resume = 0;
+    Cycle last_commit = 0;
+    Cycle commit_floor = 0;
+    uint64_t last_trigger_head = UINT64_MAX;
+    Cycle last_cycle = 0;
+
+    CoreStats warm;
+    Cycle warm_cycle = 0;
+
+    uint64_t i = 0;
+    for (; !state.halted && (budget == 0 || i < budget); i++) {
+        if (warmup_insts && i == warmup_insts) {
+            warm = st;
+            warm_cycle = last_cycle;
+            if (at_warmup)
+                at_warmup();
+        }
+        StepInfo si = step(prog_, state, image_);
+
+        // ---------------- fetch: L1I ----------------
+        // µops are 4 bytes in a notional text segment; an I-cache
+        // miss stalls fetch for an L2 access (kernels fit in the
+        // 32 KB L1I after the first touch).
+        {
+            uint64_t iline = l1i_.lineAddr(uint64_t(si.pc) * 4);
+            if (!l1i_.lookup(iline, disp_cycle)) {
+                ++st.icache_misses;
+                l1i_.insert(iline, disp_cycle,
+                            disp_cycle + cfg_.l2.latency,
+                            Requester::Demand);
+                fetch_resume = std::max(fetch_resume,
+                                        disp_cycle + cfg_.l2.latency);
+            }
+            // Sequential next-line instruction prefetch: straight-line
+            // fetch runs ahead of demand, so only the first line of a
+            // fresh region pays the miss.
+            if (!l1i_.peek(iline + 1)) {
+                l1i_.insert(iline + 1, disp_cycle,
+                            disp_cycle + cfg_.l2.latency,
+                            Requester::StridePf);
+            }
+        }
+
+        // ---------------- dispatch ----------------
+        Cycle d = disp_cycle;
+        if (fetch_resume > d) {
+            st.stall_fetch += fetch_resume - d;
+            d = fetch_resume;
+        }
+        if (iq_heap.size() >= c.issue_queue && iq_heap.top() > d) {
+            st.stall_iq += iq_heap.top() - d;
+            d = iq_heap.top();
+        }
+        if (si.is_mem && !si.is_store &&
+            lq_ring[load_count % c.load_queue] > d) {
+            // The load queue is the instruction window's binding
+            // resource for load-heavy code (128 loads span fewer
+            // µops than the 350-entry ROB): a full LQ blocked on a
+            // long-latency load is the same window-exhaustion event
+            // as a full ROB, and triggers runahead identically.
+            st.stall_lq += lq_ring[load_count % c.load_queue] - d;
+            uint64_t lhead = load_count >= c.load_queue
+                ? load_count - c.load_queue : 0;
+            Cycle lq_free = lq_ring[load_count % c.load_queue];
+            if (engine_ && lq_trigger[load_count % c.load_queue] &&
+                (lhead | (1ull << 63)) != last_trigger_head) {
+                ++st.full_rob_stall_events;
+                last_trigger_head = lhead | (1ull << 63);
+                Cycle head_fill = lq_fill[load_count % c.load_queue];
+                Cycle resume = engine_->onFullRobStall(d, head_fill,
+                                                       state);
+                if (resume > lq_free) {
+                    st.runahead_commit_stall += resume - lq_free;
+                    commit_floor = std::max(commit_floor, resume);
+                    lq_free = resume;
+                }
+            }
+            d = lq_free;
+        }
+        if (si.is_store && sq_ring[store_count % c.store_queue] > d) {
+            st.stall_sq += sq_ring[store_count % c.store_queue] - d;
+            d = sq_ring[store_count % c.store_queue];
+        }
+
+        Cycle rob_free = rob_ring[i % c.rob_size];
+        if (rob_free > d) {
+            st.rob_stall_cycles += rob_free - d;
+            uint64_t head_idx = i >= c.rob_size ? i - c.rob_size : 0;
+            if (engine_ && rob_head_trigger[i % c.rob_size] &&
+                head_idx != last_trigger_head) {
+                ++st.full_rob_stall_events;
+                last_trigger_head = head_idx;
+                Cycle head_fill = rob_head_fill[i % c.rob_size];
+                Cycle resume = engine_->onFullRobStall(d, head_fill,
+                                                       state);
+                if (resume > rob_free) {
+                    st.runahead_commit_stall += resume - rob_free;
+                    commit_floor = std::max(commit_floor, resume);
+                    rob_free = resume;
+                }
+            }
+            d = rob_free;
+        }
+
+        // Width enforcement.
+        if (d > disp_cycle) {
+            disp_cycle = d;
+            disp_count = 1;
+        } else if (disp_count < c.width) {
+            ++disp_count;
+        } else {
+            ++disp_cycle;
+            d = disp_cycle;
+            disp_count = 1;
+        }
+        const Cycle dispatch = d;
+
+        // ---------------- issue & execute ----------------
+        bool mispredicted_now = false;
+        Cycle ready = dispatch + 1;
+        const Inst &inst = *si.inst;
+        auto use = [&](uint8_t r) {
+            if (r != REG_NONE)
+                ready = std::max(ready, reg_ready[r]);
+        };
+        use(inst.rs1);
+        use(inst.rs2);
+        if (si.is_store)
+            use(inst.rs3);
+
+        Cycle complete = ready;
+        Cycle issue = ready;
+        bool trigger_candidate = false;
+        Cycle fill_cycle = 0;
+
+        const FuClass fu = inst.traits().fu;
+        if (inst.isPrefetch()) {
+            // Software prefetch: occupies a load port, kicks the
+            // line fill, completes immediately (non-binding).
+            issue = load_ports_.issue(ready);
+            if (!oracle)
+                hier_.access(si.addr, pcKey(si.pc), issue, false,
+                             Requester::StridePf);
+            complete = issue + 1;
+        } else if (si.is_mem && !si.is_store) {
+            ++st.loads;
+            issue = load_ports_.issue(ready);
+            Cycle lat;
+            if (oracle) {
+                // The paper's Oracle "knows all memory accesses in
+                // advance and prefetches them at the appropriate
+                // point in time to avoid stalling": modelled as the
+                // pure upper bound where every load completes with
+                // the L1 hit latency and charges no hierarchy
+                // resources (see EXPERIMENTS.md for the caveat).
+                lat = cfg_.l1d.latency;
+            } else {
+                AccessResult res = hier_.access(si.addr, pcKey(si.pc),
+                                                issue, false,
+                                                Requester::Demand);
+                lat = res.latency;
+                if (lat >= cfg_.l3.latency) {
+                    trigger_candidate = true;
+                    fill_cycle = issue + lat;
+                }
+            }
+            complete = issue + lat;
+        } else if (si.is_store) {
+            ++st.stores;
+            issue = store_ports_.issue(ready);
+            complete = issue + 1;
+        } else if (fu != FuClass::None) {
+            PortBank &bank = portsFor(fu);
+            issue = bank.issue(ready);
+            complete = issue + bank.latency;
+        }
+
+        if (inst.writesDst())
+            reg_ready[inst.rd] = complete;
+
+        // ---------------- branches ----------------
+        if (si.is_branch && si.taken) {
+            // Taken transfers need the BTB for a bubble-free fetch
+            // redirect; a miss costs a decode-stage re-steer.
+            if (!btb_.hit(pcKey(si.pc))) {
+                ++st.btb_misses;
+                fetch_resume = std::max(fetch_resume,
+                                        dispatch + 1 +
+                                            c.frontend_stages / 3);
+                btb_.install(pcKey(si.pc), si.next_pc);
+            }
+        }
+        if (si.is_branch && inst.isCondBranch()) {
+            ++st.branches;
+            bool pred = bp_.predict(pcKey(si.pc));
+            bp_.update(pcKey(si.pc), si.taken);
+            if (pred != si.taken) {
+                mispredicted_now = true;
+                ++st.mispredicts;
+                Cycle resolve = complete;
+                // A mispredicted branch whose resolution waits on a
+                // long-latency load lets the front-end fill the
+                // entire window with wrong-path µops long before the
+                // branch resolves -- the classic full-ROB stall that
+                // triggers runahead (the runahead prefetches future
+                // striding-load iterations, which are on the correct
+                // path even when this branch was not).
+                Cycle window_fill = dispatch + c.rob_size / c.width;
+                if (engine_ && resolve > window_fill + 16) {
+                    ++st.full_rob_stall_events;
+                    Cycle resume = engine_->onFullRobStall(
+                        window_fill, resolve, state,
+                        TriggerKind::BranchStall);
+                    if (resume > resolve) {
+                        st.runahead_commit_stall += resume - resolve;
+                        resolve = resume;
+                    }
+                }
+                fetch_resume = std::max(fetch_resume,
+                                        resolve + c.frontend_stages);
+            }
+        }
+
+        // ---------------- commit ----------------
+        Cycle commit = std::max({complete + 1, last_commit,
+                                 commit_floor,
+                                 commit_width_ring[i % c.width] + 1});
+        last_commit = commit;
+        commit_width_ring[i % c.width] = commit;
+
+        // Stores drain to memory post-commit.
+        Cycle slot_free = commit;
+        if (si.is_store && !oracle) {
+            AccessResult res = hier_.access(si.addr, pcKey(si.pc),
+                                            commit, true,
+                                            Requester::Demand);
+            slot_free = commit + (res.latency > cfg_.l1d.latency
+                                  ? 1 : 0);
+        }
+
+        rob_ring[i % c.rob_size] = commit;
+        rob_head_trigger[i % c.rob_size] = trigger_candidate;
+        rob_head_fill[i % c.rob_size] = fill_cycle;
+        iq_heap.push(issue);
+        if (iq_heap.size() > c.issue_queue)
+            iq_heap.pop();
+        if (si.is_mem && !si.is_store) {
+            lq_ring[load_count % c.load_queue] = commit;
+            lq_trigger[load_count % c.load_queue] = trigger_candidate;
+            lq_fill[load_count % c.load_queue] = fill_cycle;
+            ++load_count;
+        }
+        if (si.is_store)
+            sq_ring[store_count++ % c.store_queue] = slot_free;
+
+        last_cycle = std::max(last_cycle, commit);
+
+        if (engine_)
+            engine_->onInstruction(si, state, dispatch);
+
+        if (trace_) {
+            TraceRecord tr;
+            tr.index = i;
+            tr.pc = si.pc;
+            tr.inst = &inst;
+            tr.dispatch = dispatch;
+            tr.ready = ready;
+            tr.issue = issue;
+            tr.complete = complete;
+            tr.commit = commit;
+            tr.is_load = si.is_mem && !si.is_store;
+            tr.mispredicted = mispredicted_now;
+            trace_(tr);
+        }
+    }
+
+    st.instructions = i;
+    st.cycles = last_cycle;
+
+    if (warmup_insts && i > warmup_insts) {
+        // Report the region of interest only; timing state (caches,
+        // predictors, in-flight misses) carried across the boundary.
+        st.instructions = i - warmup_insts;
+        st.cycles = last_cycle - warm_cycle;
+        st.loads -= warm.loads;
+        st.stores -= warm.stores;
+        st.branches -= warm.branches;
+        st.mispredicts -= warm.mispredicts;
+        st.rob_stall_cycles -= warm.rob_stall_cycles;
+        st.full_rob_stall_events -= warm.full_rob_stall_events;
+        st.runahead_commit_stall -= warm.runahead_commit_stall;
+        st.stall_fetch -= warm.stall_fetch;
+        st.stall_iq -= warm.stall_iq;
+        st.stall_lq -= warm.stall_lq;
+        st.stall_sq -= warm.stall_sq;
+    }
+    return st;
+}
+
+} // namespace vrsim

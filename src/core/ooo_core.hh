@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Instruction-window-centric timing model of a superscalar
+ * out-of-order core (the modelling style of Sniper 6.0, which the
+ * paper uses). Models: fetch/dispatch/commit width, ROB, issue queue,
+ * load/store queues, functional-unit ports, branch mispredict
+ * redirects, the cache hierarchy with MSHRs and DRAM bandwidth, and
+ * full-ROB-stall detection that triggers the runahead engines.
+ */
+
+#ifndef VRSIM_CORE_OOO_CORE_HH
+#define VRSIM_CORE_OOO_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hh"
+#include "frontend/branch_predictor.hh"
+#include "frontend/btb.hh"
+#include "mem/cache.hh"
+#include "isa/interp.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+
+namespace vrsim
+{
+
+/** Timing results of one core run. */
+struct CoreStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t rob_stall_cycles = 0;      //!< dispatch blocked, ROB full
+    uint64_t full_rob_stall_events = 0; //!< runahead trigger episodes
+    uint64_t runahead_commit_stall = 0; //!< VR delayed-termination cycles
+    uint64_t btb_misses = 0;            //!< taken branches without a
+                                        //!< BTB entry (decode redirect)
+    uint64_t icache_misses = 0;         //!< L1I line misses
+
+    // Dispatch-stall attribution: cycles each constraint pushed the
+    // dispatch point beyond all previous constraints.
+    uint64_t stall_fetch = 0;           //!< mispredict redirects
+    uint64_t stall_iq = 0;              //!< issue-queue occupancy
+    uint64_t stall_lq = 0;              //!< load-queue occupancy
+    uint64_t stall_sq = 0;              //!< store-queue occupancy
+
+    double ipc() const
+    { return cycles ? double(instructions) / double(cycles) : 0.0; }
+
+    /**
+     * CPI-stack decomposition (cycles per instruction attributed to
+     * each dispatch-stall source; "base" is the remainder).
+     */
+    struct CpiStack
+    {
+        double base = 0;
+        double frontend = 0;   //!< mispredict redirects
+        double issue_queue = 0;
+        double load_queue = 0;
+        double store_queue = 0;
+        double rob = 0;
+        double runahead = 0;   //!< VR delayed-termination commit stall
+
+        double
+        total() const
+        {
+            return base + frontend + issue_queue + load_queue +
+                   store_queue + rob + runahead;
+        }
+    };
+
+    CpiStack
+    cpiStack() const
+    {
+        CpiStack s;
+        if (!instructions)
+            return s;
+        double n = double(instructions);
+        s.frontend = double(stall_fetch) / n;
+        s.issue_queue = double(stall_iq) / n;
+        s.load_queue = double(stall_lq) / n;
+        s.store_queue = double(stall_sq) / n;
+        s.rob = double(rob_stall_cycles) / n;
+        s.runahead = double(runahead_commit_stall) / n;
+        double attributed = s.frontend + s.issue_queue + s.load_queue +
+                            s.store_queue + s.rob + s.runahead;
+        double cpi = double(cycles) / n;
+        s.base = cpi > attributed ? cpi - attributed : 0.0;
+        return s;
+    }
+};
+
+/** One traced instruction's pipeline timestamps. */
+struct TraceRecord
+{
+    uint64_t index = 0;      //!< dynamic instruction number
+    uint32_t pc = 0;
+    const Inst *inst = nullptr;
+    Cycle dispatch = 0;
+    Cycle ready = 0;         //!< operands available
+    Cycle issue = 0;
+    Cycle complete = 0;
+    Cycle commit = 0;
+    bool is_load = false;
+    bool mispredicted = false;
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    /**
+     * @param cfg    system configuration
+     * @param prog   program to execute
+     * @param image  functional memory (workload data already loaded)
+     * @param hier   timing memory hierarchy
+     * @param engine optional runahead engine (nullptr for plain OoO)
+     */
+    OooCore(const SystemConfig &cfg, const Program &prog,
+            MemoryImage &image, MemoryHierarchy &hier,
+            RunaheadEngine *engine = nullptr);
+
+    /**
+     * Run until the program halts or @p max_insts dynamic
+     * instructions execute (0 = only the config's max_insts cap).
+     *
+     * @param init initial architectural state (workload registers)
+     * @param max_insts dynamic-instruction budget incl. warmup
+     * @param warmup_insts instructions whose statistics are excluded
+     *        from the returned CoreStats (cache/predictor state and
+     *        pipeline timing carry over); @p at_warmup, when set, is
+     *        invoked at the boundary so callers can snapshot external
+     *        statistics (e.g. the memory hierarchy's)
+     */
+    CoreStats run(const CpuState &init, uint64_t max_insts = 0,
+                  uint64_t warmup_insts = 0,
+                  const std::function<void()> &at_warmup = {});
+
+    /** Run from a zeroed architectural state. */
+    CoreStats run(uint64_t max_insts = 0)
+    { return run(CpuState{}, max_insts); }
+
+    const BranchPredictor &branchPredictor() const { return bp_; }
+    const Btb &btb() const { return btb_; }
+
+    /** Install a per-instruction pipeline-trace callback. */
+    void setTrace(std::function<void(const TraceRecord &)> sink)
+    { trace_ = std::move(sink); }
+
+  private:
+    /**
+     * Per-FU-class issue-port calendar with cycle-granular occupancy.
+     * Out-of-order issue schedules non-chronologically (a later
+     * instruction may issue at an earlier cycle than a previously
+     * scheduled one), so the calendar tracks per-cycle usage counts
+     * rather than per-unit next-free times.
+     */
+    struct PortBank
+    {
+        uint32_t units = 1;
+        uint32_t latency = 1;
+        bool pipelined = true;
+        std::unordered_map<Cycle, uint32_t> used;
+
+        /** Issue at the earliest cycle >= ready with a free unit. */
+        Cycle
+        issue(Cycle ready)
+        {
+            Cycle t = ready;
+            while (true) {
+                bool ok = true;
+                const uint32_t span = pipelined ? 1 : latency;
+                for (uint32_t k = 0; k < span; k++) {
+                    auto it = used.find(t + k);
+                    if (it != used.end() && it->second >= units) {
+                        ok = false;
+                        t = t + k + 1;
+                        break;
+                    }
+                }
+                if (ok)
+                    break;
+            }
+            const uint32_t span = pipelined ? 1 : latency;
+            for (uint32_t k = 0; k < span; k++)
+                ++used[t + k];
+            return t;
+        }
+    };
+
+    PortBank &portsFor(FuClass fu);
+
+    SystemConfig cfg_;
+    const Program &prog_;
+    MemoryImage &image_;
+    MemoryHierarchy &hier_;
+    RunaheadEngine *engine_;
+    BranchPredictor bp_;
+    Btb btb_;
+    CacheArray l1i_;
+    std::function<void(const TraceRecord &)> trace_;
+
+    PortBank int_add_, int_mul_, int_div_;
+    PortBank fp_add_, fp_mul_, fp_div_;
+    PortBank load_ports_, store_ports_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_CORE_OOO_CORE_HH

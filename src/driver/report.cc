@@ -1,0 +1,202 @@
+#include "driver/report.hh"
+
+#include <iomanip>
+
+namespace vrsim
+{
+
+StatGroup
+toStatGroup(const SimResult &r)
+{
+    StatGroup g(r.workload + "." + techniqueName(r.technique));
+    auto set = [&g](const std::string &k, double v) {
+        g.scalar(k) = v;
+    };
+
+    set("core.instructions", double(r.core.instructions));
+    set("core.cycles", double(r.core.cycles));
+    set("core.ipc", r.ipc());
+    set("core.loads", double(r.core.loads));
+    set("core.stores", double(r.core.stores));
+    set("core.branches", double(r.core.branches));
+    set("core.mispredicts", double(r.core.mispredicts));
+    set("core.stall_fetch", double(r.core.stall_fetch));
+    set("core.stall_iq", double(r.core.stall_iq));
+    set("core.stall_lq", double(r.core.stall_lq));
+    set("core.stall_sq", double(r.core.stall_sq));
+    set("core.stall_rob", double(r.core.rob_stall_cycles));
+    set("core.runahead_triggers", double(r.core.full_rob_stall_events));
+    set("core.runahead_commit_stall",
+        double(r.core.runahead_commit_stall));
+
+    CoreStats::CpiStack cs = r.core.cpiStack();
+    set("cpi.base", cs.base);
+    set("cpi.frontend", cs.frontend);
+    set("cpi.issue_queue", cs.issue_queue);
+    set("cpi.load_queue", cs.load_queue);
+    set("cpi.store_queue", cs.store_queue);
+    set("cpi.rob", cs.rob);
+    set("cpi.runahead", cs.runahead);
+    set("cpi.total", cs.total());
+
+    set("mem.demand_accesses", double(r.mem.demand_accesses));
+    set("mem.l1_hits", double(r.mem.demand_l1_hits));
+    set("mem.l2_hits", double(r.mem.demand_l2_hits));
+    set("mem.l3_hits", double(r.mem.demand_l3_hits));
+    set("mem.mem_accesses", double(r.mem.demand_mem));
+    set("mem.mean_load_latency",
+        r.mem.demand_accesses
+            ? double(r.mem.demand_latency_sum) /
+                  double(r.mem.demand_accesses)
+            : 0.0);
+    set("mem.dram_total", double(r.mem.dramTotal()));
+    set("mem.dram_main", double(r.dramMain()));
+    set("mem.dram_runahead", double(r.dramRunahead()));
+    set("mem.mlp", r.mlp);
+    set("mem.pf_lines_filled", double(r.mem.pf_lines_filled));
+    set("mem.pf_used_l1", double(r.mem.pf_used_l1));
+    set("mem.pf_used_l2", double(r.mem.pf_used_l2));
+    set("mem.pf_used_l3", double(r.mem.pf_used_l3));
+    set("mem.pf_used_inflight", double(r.mem.pf_used_inflight));
+
+    if (r.pre) {
+        set("pre.intervals", double(r.pre->intervals));
+        set("pre.prefetches", double(r.pre->prefetches));
+        set("pre.skipped_dependent", double(r.pre->skipped_dependent));
+    }
+    if (r.vr) {
+        set("vr.triggers", double(r.vr->triggers));
+        set("vr.vectorizations", double(r.vr->vectorizations));
+        set("vr.lanes", double(r.vr->lanes_spawned));
+        set("vr.prefetches", double(r.vr->prefetches));
+        set("vr.lanes_invalidated", double(r.vr->lanes_invalidated));
+    }
+    if (r.dvr) {
+        set("dvr.discoveries", double(r.dvr->discoveries));
+        set("dvr.discovery_aborts", double(r.dvr->discovery_aborts));
+        set("dvr.innermost_switches",
+            double(r.dvr->innermost_switches));
+        set("dvr.spawns", double(r.dvr->spawns));
+        set("dvr.nested_spawns", double(r.dvr->nested_spawns));
+        set("dvr.lanes", double(r.dvr->lanes_spawned));
+        set("dvr.mean_lanes", r.dvr->meanLanes());
+        set("dvr.prefetches", double(r.dvr->prefetches));
+        set("dvr.divergences", double(r.dvr->divergences));
+        set("dvr.bound_limited", double(r.dvr->bound_limited));
+        set("dvr.dedupe_skips", double(r.dvr->dedupe_skips));
+    }
+    return g;
+}
+
+void
+printReport(std::ostream &os, const SimResult &r,
+            const SystemConfig &cfg)
+{
+    os << "=== " << r.workload << " under "
+       << techniqueName(r.technique) << " ===\n";
+    SystemConfig shown = cfg;
+    shown.technique = r.technique;
+    printConfig(os, shown);
+
+    os << "\n-- performance --\n";
+    os << std::fixed << std::setprecision(3);
+    os << "instructions    " << r.core.instructions << "\n";
+    os << "cycles          " << r.core.cycles << "\n";
+    os << "IPC             " << r.ipc() << "\n";
+
+    auto pct = [&r](uint64_t v) {
+        return r.core.cycles ? 100.0 * double(v) / double(r.core.cycles)
+                             : 0.0;
+    };
+    CoreStats::CpiStack cs = r.core.cpiStack();
+    os << "\n-- CPI stack --\n" << std::setprecision(3);
+    os << "base            " << cs.base << "\n";
+    os << "front-end       " << cs.frontend << "\n";
+    os << "issue queue     " << cs.issue_queue << "\n";
+    os << "load queue      " << cs.load_queue << "\n";
+    os << "store queue     " << cs.store_queue << "\n";
+    os << "ROB             " << cs.rob << "\n";
+    os << "runahead        " << cs.runahead << "\n";
+    os << "total CPI       " << cs.total() << "\n";
+
+    os << "\n-- dispatch stalls (% of cycles) --\n"
+       << std::setprecision(1);
+    os << "fetch redirect  " << pct(r.core.stall_fetch) << "%\n";
+    os << "issue queue     " << pct(r.core.stall_iq) << "%\n";
+    os << "load queue      " << pct(r.core.stall_lq) << "%\n";
+    os << "store queue     " << pct(r.core.stall_sq) << "%\n";
+    os << "ROB             " << pct(r.core.rob_stall_cycles) << "%\n";
+
+    os << "\n-- memory --\n";
+    double acc = double(std::max<uint64_t>(1, r.mem.demand_accesses));
+    os << "demand accesses " << r.mem.demand_accesses << "\n";
+    os << "L1/L2/L3/mem    " << 100.0 * r.mem.demand_l1_hits / acc
+       << "% / " << 100.0 * r.mem.demand_l2_hits / acc << "% / "
+       << 100.0 * r.mem.demand_l3_hits / acc << "% / "
+       << 100.0 * r.mem.demand_mem / acc << "%\n";
+    os << "mean latency    "
+       << double(r.mem.demand_latency_sum) / acc << " cycles\n";
+    os << "MLP (MSHRs/cyc) " << r.mlp << "\n";
+    os << "DRAM fills      " << r.mem.dramTotal() << " (main "
+       << r.dramMain() << ", runahead " << r.dramRunahead() << ")\n";
+
+    if (r.core.branches) {
+        os << "\n-- branches --\n";
+        os << "mispredict rate "
+           << 100.0 * double(r.core.mispredicts) /
+                  double(r.core.branches)
+           << "% (" << r.core.mispredicts << " / " << r.core.branches
+           << ")\n";
+    }
+
+    if (r.pre) {
+        os << "\n-- PRE --\n";
+        os << "intervals       " << r.pre->intervals << "\n";
+        os << "prefetches      " << r.pre->prefetches << "\n";
+        os << "skipped (dep.)  " << r.pre->skipped_dependent << "\n";
+    }
+    if (r.vr) {
+        os << "\n-- Vector Runahead --\n";
+        os << "triggers        " << r.vr->triggers << "\n";
+        os << "vectorizations  " << r.vr->vectorizations << "\n";
+        os << "lanes           " << r.vr->lanes_spawned << "\n";
+        os << "prefetches      " << r.vr->prefetches << "\n";
+        os << "invalidated     " << r.vr->lanes_invalidated << "\n";
+        os << "commit stall    " << r.core.runahead_commit_stall
+           << " cycles\n";
+    }
+    if (r.dvr) {
+        os << "\n-- Decoupled Vector Runahead --\n";
+        os << "discoveries     " << r.dvr->discoveries << " ("
+           << r.dvr->discovery_aborts << " aborted, "
+           << r.dvr->innermost_switches << " innermost switches)\n";
+        os << "spawns          " << r.dvr->spawns << " ("
+           << r.dvr->nested_spawns << " nested)\n";
+        os << "lanes           " << r.dvr->lanes_spawned << " (mean "
+           << r.dvr->meanLanes() << ")\n";
+        os << "prefetches      " << r.dvr->prefetches << "\n";
+        os << "divergences     " << r.dvr->divergences << "\n";
+        os << "bound-limited   " << r.dvr->bound_limited << "\n";
+    }
+}
+
+void
+CsvWriter::row(const SimResult &r)
+{
+    StatGroup g = toStatGroup(r);
+    if (!wrote_header_) {
+        wrote_header_ = true;
+        os_ << "workload,technique";
+        for (const auto &kv : g.all()) {
+            columns_.push_back(kv.first);
+            os_ << "," << kv.first;
+        }
+        os_ << "\n";
+    }
+    os_ << r.workload << "," << techniqueName(r.technique);
+    for (const auto &col : columns_)
+        os_ << "," << (g.has(col) ? g.value(col) : 0.0);
+    os_ << "\n";
+}
+
+} // namespace vrsim

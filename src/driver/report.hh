@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Report writers for simulation results: a human-readable full report,
+ * a CSV row/sweep writer for downstream analysis, and a flattener that
+ * turns a SimResult into a named-scalar StatGroup.
+ */
+
+#ifndef VRSIM_DRIVER_REPORT_HH
+#define VRSIM_DRIVER_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/simulation.hh"
+#include "sim/stats.hh"
+
+namespace vrsim
+{
+
+/** Flatten a SimResult into named scalars (stable key set per run). */
+StatGroup toStatGroup(const SimResult &result);
+
+/** Print a multi-section human-readable report for one run. */
+void printReport(std::ostream &os, const SimResult &result,
+                 const SystemConfig &cfg);
+
+/**
+ * CSV writer: header once, then one row per result. Columns are the
+ * union of toStatGroup keys, fixed by the first row.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Append one result (writes the header on first use). */
+    void row(const SimResult &result);
+
+  private:
+    std::ostream &os_;
+    std::vector<std::string> columns_;
+    bool wrote_header_ = false;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_DRIVER_REPORT_HH

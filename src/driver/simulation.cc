@@ -1,0 +1,141 @@
+#include "driver/simulation.hh"
+
+#include <iomanip>
+#include <memory>
+
+namespace vrsim
+{
+
+SimResult
+runWorkload(Workload &w, Technique technique, SystemConfig cfg,
+            uint64_t max_insts, uint64_t warmup_insts)
+{
+    cfg.technique = technique;
+    MemoryHierarchy hier(cfg, w.image);
+    if (technique == Technique::Imp)
+        hier.enableImp();
+
+    std::unique_ptr<RunaheadEngine> engine;
+    PreEngine *pre = nullptr;
+    VectorRunahead *vr = nullptr;
+    DecoupledVectorRunahead *dvr = nullptr;
+    switch (technique) {
+      case Technique::Pre: {
+        auto e = std::make_unique<PreEngine>(cfg, w.prog, w.image, hier);
+        pre = e.get();
+        engine = std::move(e);
+        break;
+      }
+      case Technique::Vr: {
+        auto e = std::make_unique<VectorRunahead>(cfg, w.prog, w.image,
+                                                  hier);
+        vr = e.get();
+        engine = std::move(e);
+        break;
+      }
+      case Technique::DvrOffload:
+      case Technique::DvrDiscovery:
+      case Technique::Dvr: {
+        DvrFeatures f = technique == Technique::DvrOffload
+            ? DvrFeatures::offloadOnly()
+            : technique == Technique::DvrDiscovery
+                ? DvrFeatures::withDiscovery()
+                : DvrFeatures::full();
+        auto e = std::make_unique<DecoupledVectorRunahead>(
+            cfg, w.prog, w.image, hier, f);
+        dvr = e.get();
+        engine = std::move(e);
+        break;
+      }
+      default:
+        break;
+    }
+
+    OooCore core(cfg, w.prog, w.image, hier, engine.get());
+    uint64_t budget = max_insts ? max_insts : w.suggested_insts;
+
+    SimResult res;
+    res.workload = w.name;
+    res.technique = technique;
+    MemStats warm_mem;
+    uint64_t warm_busy = 0;
+    res.core = core.run(w.init, budget, warmup_insts, [&] {
+        warm_mem = hier.stats();
+        warm_busy = hier.l1Mshrs().busyIntegral();
+    });
+    res.mem = hier.stats().since(warm_mem);
+    uint64_t busy = hier.l1Mshrs().busyIntegral() - warm_busy;
+    res.mlp = res.core.cycles ? double(busy) / double(res.core.cycles)
+                              : 0.0;
+    if (pre)
+        res.pre = pre->stats();
+    if (vr)
+        res.vr = vr->stats();
+    if (dvr)
+        res.dvr = dvr->stats();
+    return res;
+}
+
+SimResult
+runSimulation(const std::string &spec, Technique technique,
+              SystemConfig cfg, const GraphScale &gscale,
+              const HpcDbScale &hscale, uint64_t max_insts,
+              uint64_t warmup_insts)
+{
+    Workload w = makeWorkload(spec, gscale, hscale);
+    return runWorkload(w, technique, cfg, max_insts, warmup_insts);
+}
+
+std::vector<std::string>
+gapBenchmarkSpecs()
+{
+    std::vector<std::string> specs;
+    for (const auto &k : gapKernelNames())
+        for (const char *in : {"KR", "LJN", "ORK", "TW", "UR"})
+            specs.push_back(k + "/" + in);
+    return specs;
+}
+
+std::vector<std::string>
+allBenchmarkSpecs()
+{
+    std::vector<std::string> specs = gapBenchmarkSpecs();
+    for (const auto &n : hpcDbNames())
+        specs.push_back(n);
+    return specs;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double inv = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        inv += 1.0 / v;
+    }
+    return double(values.size()) / inv;
+}
+
+void
+printSpeedupTable(std::ostream &os,
+                  const std::vector<std::string> &row_names,
+                  const std::vector<std::string> &col_names,
+                  const std::vector<std::vector<double>> &cells)
+{
+    os << std::left << std::setw(16) << "benchmark";
+    for (const auto &c : col_names)
+        os << std::right << std::setw(12) << c;
+    os << "\n";
+    for (size_t r = 0; r < row_names.size(); r++) {
+        os << std::left << std::setw(16) << row_names[r];
+        for (double v : cells[r])
+            os << std::right << std::setw(12) << std::fixed
+               << std::setprecision(3) << v;
+        os << "\n";
+    }
+}
+
+} // namespace vrsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulation facade: builds the hierarchy + engine for a technique,
+ * runs a workload on the core, and collects a uniform result record —
+ * the entry point examples and benches use.
+ */
+
+#ifndef VRSIM_DRIVER_SIMULATION_HH
+#define VRSIM_DRIVER_SIMULATION_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/ooo_core.hh"
+#include "runahead/dvr.hh"
+#include "runahead/pre.hh"
+#include "runahead/vector_runahead.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace vrsim
+{
+
+/** Uniform result record of one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    Technique technique = Technique::OoO;
+    CoreStats core;
+    MemStats mem;
+    double mlp = 0.0;        //!< mean L1D MSHRs busy per cycle
+
+    // Engine summaries (whichever applies).
+    std::optional<PreStats> pre;
+    std::optional<VrStats> vr;
+    std::optional<DvrStats> dvr;
+
+    double ipc() const { return core.ipc(); }
+
+    /** DRAM accesses from the main thread (demand + stride pf). */
+    uint64_t
+    dramMain() const
+    {
+        return mem.dram_by_requester[size_t(Requester::Demand)] +
+               mem.dram_by_requester[size_t(Requester::StridePf)] +
+               mem.dram_by_requester[size_t(Requester::Imp)];
+    }
+
+    /** DRAM accesses from runahead prefetching. */
+    uint64_t
+    dramRunahead() const
+    {
+        return mem.dram_by_requester[size_t(Requester::Runahead)];
+    }
+};
+
+/**
+ * Run @p spec (see makeWorkload) under @p technique. The workload is
+ * rebuilt for each run so mutation by stores cannot leak between
+ * techniques.
+ */
+SimResult runSimulation(const std::string &spec, Technique technique,
+                        SystemConfig cfg,
+                        const GraphScale &gscale = GraphScale{},
+                        const HpcDbScale &hscale = HpcDbScale{},
+                        uint64_t max_insts = 0,
+                        uint64_t warmup_insts = 0);
+
+/**
+ * Run a pre-built workload (used by tests and custom examples).
+ * When @p warmup_insts is nonzero, that many leading instructions
+ * warm the caches/predictors and are excluded from the statistics.
+ */
+SimResult runWorkload(Workload &w, Technique technique,
+                      SystemConfig cfg, uint64_t max_insts = 0,
+                      uint64_t warmup_insts = 0);
+
+/** All benchmark-input specs of the paper's Fig. 7 (GAP x 5 inputs +
+ *  hpc-db). */
+std::vector<std::string> allBenchmarkSpecs();
+
+/** The 5-input GAP specs only. */
+std::vector<std::string> gapBenchmarkSpecs();
+
+/** Harmonic mean of positive values. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Print a markdown-style table of results (one row per workload). */
+void printSpeedupTable(std::ostream &os,
+                       const std::vector<std::string> &row_names,
+                       const std::vector<std::string> &col_names,
+                       const std::vector<std::vector<double>> &cells);
+
+} // namespace vrsim
+
+#endif // VRSIM_DRIVER_SIMULATION_HH

@@ -1,0 +1,168 @@
+#include "frontend/branch_predictor.hh"
+
+namespace vrsim
+{
+
+BranchPredictor::BranchPredictor()
+{
+    base_.assign(1u << BASE_BITS, 0);
+    for (auto &t : tables_)
+        t.assign(1u << TABLE_BITS, TageEntry{});
+}
+
+uint64_t
+BranchPredictor::foldedHistory(unsigned bits, unsigned length) const
+{
+    uint64_t h = ghist_ & ((length >= 64) ? ~0ull
+                                          : ((1ull << length) - 1));
+    uint64_t folded = 0;
+    while (h) {
+        folded ^= h & ((1ull << bits) - 1);
+        h >>= bits;
+    }
+    return folded;
+}
+
+uint32_t
+BranchPredictor::tableIndex(uint64_t pc, unsigned table) const
+{
+    uint64_t h = foldedHistory(TABLE_BITS, HIST_LEN[table]);
+    return uint32_t((pc ^ (pc >> TABLE_BITS) ^ h) &
+                    ((1u << TABLE_BITS) - 1));
+}
+
+uint16_t
+BranchPredictor::tableTag(uint64_t pc, unsigned table) const
+{
+    uint64_t h = foldedHistory(TAG_BITS, HIST_LEN[table]);
+    return uint16_t((pc ^ (pc >> 3) ^ (h << 1)) &
+                    ((1u << TAG_BITS) - 1));
+}
+
+BranchPredictor::LoopEntry *
+BranchPredictor::findLoop(uint64_t pc)
+{
+    for (auto &l : loops_) {
+        if (l.valid && l.pc == pc)
+            return &l;
+    }
+    return nullptr;
+}
+
+bool
+BranchPredictor::predict(uint64_t pc)
+{
+    ++lookups_;
+    last_ = {};
+    last_.base_idx = uint32_t(pc & ((1u << BASE_BITS) - 1));
+    last_.base_pred = base_[last_.base_idx] >= 0;
+
+    // Loop predictor override: confident loops predict not-taken at
+    // the learned trip count (our loops branch backwards when taken).
+    if (LoopEntry *l = findLoop(pc)) {
+        if (l->confidence >= 3 && l->trip > 0) {
+            last_.loop_hit = true;
+            last_.loop_pred = (l->count + 1u < l->trip);
+        }
+    }
+
+    int provider = -1;
+    bool pred = last_.base_pred;
+    for (unsigned t = 0; t < NUM_TABLES; t++) {
+        last_.idx[t] = tableIndex(pc, t);
+        last_.tag[t] = tableTag(pc, t);
+        const TageEntry &e = tables_[t][last_.idx[t]];
+        if (e.tag == last_.tag[t]) {
+            provider = int(t);
+            pred = e.ctr >= 0;
+        }
+    }
+    last_.provider = provider;
+    last_.pred = last_.loop_hit ? last_.loop_pred : pred;
+    return last_.pred;
+}
+
+void
+BranchPredictor::update(uint64_t pc, bool taken)
+{
+    if (last_.pred != taken)
+        ++mispredicts_;
+
+    // Loop predictor training: count taken streaks.
+    LoopEntry *l = findLoop(pc);
+    if (!l) {
+        // Allocate lazily on a taken backward-ish branch.
+        for (auto &e : loops_) {
+            if (!e.valid) {
+                e = LoopEntry{};
+                e.pc = pc;
+                e.valid = true;
+                l = &e;
+                break;
+            }
+        }
+    }
+    if (l) {
+        if (taken) {
+            ++l->count;
+        } else {
+            uint16_t trip = l->count + 1;
+            if (trip == l->last_trip) {
+                if (l->confidence < 3)
+                    ++l->confidence;
+                l->trip = trip;
+            } else {
+                l->confidence = 0;
+                l->trip = 0;
+            }
+            l->last_trip = trip;
+            l->count = 0;
+        }
+    }
+
+    // TAGE update: provider counter, usefulness, allocation on
+    // mispredict.
+    auto bump = [](int8_t &c, bool up, int8_t lo, int8_t hi) {
+        if (up && c < hi)
+            ++c;
+        else if (!up && c > lo)
+            --c;
+    };
+
+    if (last_.provider >= 0) {
+        TageEntry &e = tables_[last_.provider][last_.idx[last_.provider]];
+        bool table_pred = e.ctr >= 0;
+        bump(e.ctr, taken, -4, 3);
+        if (table_pred == taken && last_.base_pred != taken) {
+            if (e.useful < 3)
+                ++e.useful;
+        } else if (table_pred != taken && e.useful > 0) {
+            --e.useful;
+        }
+    } else {
+        bump(base_[last_.base_idx], taken, -2, 1);
+    }
+
+    // Allocate a longer-history entry on mispredict.
+    bool tage_pred = last_.provider >= 0
+        ? (tables_[last_.provider][last_.idx[last_.provider]].tag ==
+               last_.tag[last_.provider]
+           && last_.pred == (last_.loop_hit ? last_.pred : last_.pred))
+        : last_.base_pred;
+    (void)tage_pred;
+    if (last_.pred != taken) {
+        for (unsigned t = unsigned(last_.provider + 1); t < NUM_TABLES;
+             t++) {
+            TageEntry &e = tables_[t][last_.idx[t]];
+            if (e.useful == 0) {
+                e.tag = last_.tag[t];
+                e.ctr = taken ? 0 : -1;
+                break;
+            }
+        }
+    }
+
+    ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace vrsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Branch Target Buffer: tracks taken-branch targets so the fetch
+ * stage can redirect without a decode-stage bubble. A taken branch
+ * that misses in the BTB costs a front-end redirect; a hit is
+ * effectively free on a modern fetch pipeline.
+ */
+
+#ifndef VRSIM_FRONTEND_BTB_HH
+#define VRSIM_FRONTEND_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vrsim
+{
+
+/** Direct-mapped BTB with tags. */
+class Btb
+{
+  public:
+    explicit Btb(uint32_t entries = 512)
+        : mask_(entries - 1), table_(entries)
+    {
+        // Round down to a power of two for cheap indexing.
+        uint32_t p = 1;
+        while (p * 2 <= entries)
+            p *= 2;
+        mask_ = p - 1;
+        table_.assign(p, Entry{});
+    }
+
+    /** Does the BTB know the target of the branch at @p pc? */
+    bool
+    hit(uint64_t pc) const
+    {
+        const Entry &e = table_[pc & mask_];
+        return e.valid && e.pc == pc;
+    }
+
+    /** Install/refresh the entry after a taken branch resolves. */
+    void
+    install(uint64_t pc, uint64_t target)
+    {
+        Entry &e = table_[pc & mask_];
+        e.valid = true;
+        e.pc = pc;
+        e.target = target;
+        ++installs_;
+    }
+
+    uint64_t installs() const { return installs_; }
+    uint32_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        bool valid = false;
+    };
+
+    uint32_t mask_;
+    std::vector<Entry> table_;
+    uint64_t installs_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_FRONTEND_BTB_HH

@@ -1,0 +1,102 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace vrsim
+{
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    auto reg = [](uint8_t r) {
+        return r == REG_NONE ? std::string("-")
+                             : "r" + std::to_string(unsigned(r));
+    };
+    if (isLoad()) {
+        os << " " << reg(rd) << ", [" << reg(rs1);
+        if (rs2 != REG_NONE)
+            os << " + " << reg(rs2) << "*" << unsigned(scale);
+        if (imm)
+            os << " + " << imm;
+        os << "]";
+    } else if (isStore()) {
+        os << " " << reg(rs3) << " -> [" << reg(rs1);
+        if (rs2 != REG_NONE)
+            os << " + " << reg(rs2) << "*" << unsigned(scale);
+        if (imm)
+            os << " + " << imm;
+        os << "]";
+    } else if (isBranch()) {
+        if (rs1 != REG_NONE)
+            os << " " << reg(rs1) << ",";
+        os << " @" << imm;
+    } else {
+        if (rd != REG_NONE)
+            os << " " << reg(rd);
+        if (rs1 != REG_NONE)
+            os << ", " << reg(rs1);
+        if (rs2 != REG_NONE)
+            os << ", " << reg(rs2);
+        if (traits().has_imm)
+            os << ", " << imm;
+    }
+    return os.str();
+}
+
+ProgramBuilder::Label
+ProgramBuilder::here()
+{
+    Label l = makeLabel();
+    label_pcs_[l.id] = pc();
+    return l;
+}
+
+ProgramBuilder::Label
+ProgramBuilder::makeLabel()
+{
+    label_pcs_.push_back(UINT32_MAX);
+    return Label{uint32_t(label_pcs_.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    panicIfNot(l.id < label_pcs_.size(), "unknown label");
+    panicIfNot(label_pcs_[l.id] == UINT32_MAX, "label already bound");
+    label_pcs_[l.id] = pc();
+}
+
+uint32_t
+ProgramBuilder::emit(Inst i)
+{
+    panicIfNot(!built_, "builder already consumed");
+    uint32_t at = pc();
+    prog_.insts_.push_back(i);
+    return at;
+}
+
+uint32_t
+ProgramBuilder::emitBranch(Op op, uint8_t cond, Label target)
+{
+    uint32_t at = emit({op, REG_NONE, cond});
+    fixups_.emplace_back(at, target.id);
+    return at;
+}
+
+Program
+ProgramBuilder::build()
+{
+    panicIfNot(!built_, "builder already consumed");
+    for (auto [inst_pc, label_id] : fixups_) {
+        panicIfNot(label_id < label_pcs_.size(), "unknown label");
+        uint32_t dest = label_pcs_[label_id];
+        panicIfNot(dest != UINT32_MAX, "unbound label at build()");
+        prog_.insts_[inst_pc].imm = int64_t(dest);
+    }
+    built_ = true;
+    return std::move(prog_);
+}
+
+} // namespace vrsim

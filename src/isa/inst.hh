@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Instruction encoding and the Program container with its builder.
+ */
+
+#ifndef VRSIM_ISA_INST_HH
+#define VRSIM_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hh"
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/**
+ * One micro-op. PCs are instruction indices within a Program.
+ *
+ * Memory effective address: regs[rs1] + regs[rs2] * scale + imm
+ * (rs2 == REG_NONE means no index term). For stores rs3 holds the
+ * value register.
+ */
+struct Inst
+{
+    Op op = Op::Nop;
+    uint8_t rd = REG_NONE;
+    uint8_t rs1 = REG_NONE;
+    uint8_t rs2 = REG_NONE;
+    uint8_t rs3 = REG_NONE;   //!< store-value register
+    uint8_t scale = 1;        //!< index scaling for memory ops
+    int64_t imm = 0;          //!< immediate / branch target / displacement
+
+    const OpTraits &traits() const { return opTraits(op); }
+
+    bool isLoad() const { return traits().is_load; }
+    bool isStore() const { return traits().is_store; }
+    bool isPrefetch() const { return traits().is_prefetch; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return traits().is_branch; }
+    bool isCondBranch() const { return traits().is_cond_branch; }
+    bool isCompare() const { return traits().is_compare; }
+    bool writesDst() const { return traits().writes_dst; }
+
+    /** Disassemble for debugging. */
+    std::string toString() const;
+};
+
+/**
+ * A program: a flat vector of micro-ops plus entry point and
+ * human-readable name. Built via ProgramBuilder.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const Inst &at(uint32_t pc) const
+    {
+        panicIfNot(pc < insts_.size(), "PC out of range");
+        return insts_[pc];
+    }
+
+    uint32_t size() const { return uint32_t(insts_.size()); }
+    const std::string &name() const { return name_; }
+    const std::vector<Inst> &insts() const { return insts_; }
+    std::vector<Inst> &insts() { return insts_; }
+
+  private:
+    friend class ProgramBuilder;
+    std::string name_;
+    std::vector<Inst> insts_;
+};
+
+/**
+ * Fluent assembler for Programs with forward-label support.
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder b("loop");
+ *   auto top = b.here();
+ *   b.ld(R2, R1, R0, 8);        // R2 = mem[R1 + R0*8]
+ *   b.addi(R0, R0, 1);
+ *   b.cmplt(R3, R0, R4);
+ *   b.br(R3, top);
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    /** An opaque label: either bound to a pc or patched at build(). */
+    struct Label
+    {
+        uint32_t id = 0;
+    };
+
+    explicit ProgramBuilder(std::string name) : prog_(std::move(name)) {}
+
+    /** Current pc as a bound label. */
+    Label here();
+
+    /** A fresh unbound label to be placed later via bind(). */
+    Label makeLabel();
+
+    /** Bind an unbound label to the current pc. */
+    void bind(Label l);
+
+    // --- emitters (each returns the pc of the emitted inst) ---
+    uint32_t nop() { return emit({Op::Nop}); }
+    uint32_t halt() { return emit({Op::Halt}); }
+    uint32_t movi(uint8_t rd, int64_t imm)
+    { return emit({Op::Movi, rd, REG_NONE, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t mov(uint8_t rd, uint8_t rs)
+    { return emit({Op::Mov, rd, rs}); }
+
+    uint32_t add(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Add, rd, a, b}); }
+    uint32_t sub(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Sub, rd, a, b}); }
+    uint32_t mul(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Mul, rd, a, b}); }
+    uint32_t divu(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Divu, rd, a, b}); }
+    uint32_t and_(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::And, rd, a, b}); }
+    uint32_t or_(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Or, rd, a, b}); }
+    uint32_t xor_(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Xor, rd, a, b}); }
+    uint32_t shl(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Shl, rd, a, b}); }
+    uint32_t shr(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::Shr, rd, a, b}); }
+
+    uint32_t addi(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::Addi, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t muli(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::Muli, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t andi(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::Andi, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t shli(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::Shli, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t shri(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::Shri, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t hash(uint8_t rd, uint8_t a, int64_t salt = 0)
+    { return emit({Op::Hash, rd, a, REG_NONE, REG_NONE, 1, salt}); }
+
+    /**
+     * Emit the real µop sequence of hashMix64(src ^ salt) (splitmix64
+     * finalizer): ~8-10 ALU µops, clobbering @p tmp. Workloads use
+     * this rather than the single-cycle Op::Hash so their per-miss
+     * µop density matches real address-calculation code.
+     */
+    void
+    hashSeq(uint8_t rd, uint8_t src, uint8_t tmp, int64_t salt = 0)
+    {
+        if (salt != 0) {
+            movi(tmp, salt);
+            xor_(rd, src, tmp);
+        } else if (rd != src) {
+            mov(rd, src);
+        }
+        shri(tmp, rd, 30);
+        xor_(rd, rd, tmp);
+        muli(rd, rd, int64_t(0xBF58476D1CE4E5B9ull));
+        shri(tmp, rd, 27);
+        xor_(rd, rd, tmp);
+        muli(rd, rd, int64_t(0x94D049BB133111EBull));
+        shri(tmp, rd, 31);
+        xor_(rd, rd, tmp);
+    }
+
+    uint32_t cmplt(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::CmpLt, rd, a, b}); }
+    uint32_t cmpltu(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::CmpLtu, rd, a, b}); }
+    uint32_t cmpeq(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::CmpEq, rd, a, b}); }
+    uint32_t cmpne(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::CmpNe, rd, a, b}); }
+    uint32_t cmplti(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::CmpLti, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+    uint32_t cmpeqi(uint8_t rd, uint8_t a, int64_t imm)
+    { return emit({Op::CmpEqi, rd, a, REG_NONE, REG_NONE, 1, imm}); }
+
+    uint32_t br(uint8_t cond, Label target)
+    { return emitBranch(Op::Br, cond, target); }
+    uint32_t brz(uint8_t cond, Label target)
+    { return emitBranch(Op::Brz, cond, target); }
+    uint32_t jmp(Label target)
+    { return emitBranch(Op::Jmp, REG_NONE, target); }
+
+    uint32_t ld(uint8_t rd, uint8_t base, uint8_t idx = REG_NONE,
+                uint8_t scale = 1, int64_t disp = 0)
+    { return emit({Op::Ld, rd, base, idx, REG_NONE, scale, disp}); }
+    uint32_t ld32(uint8_t rd, uint8_t base, uint8_t idx = REG_NONE,
+                  uint8_t scale = 1, int64_t disp = 0)
+    { return emit({Op::Ld32, rd, base, idx, REG_NONE, scale, disp}); }
+    uint32_t st(uint8_t val, uint8_t base, uint8_t idx = REG_NONE,
+                uint8_t scale = 1, int64_t disp = 0)
+    { return emit({Op::St, REG_NONE, base, idx, val, scale, disp}); }
+    uint32_t st32(uint8_t val, uint8_t base, uint8_t idx = REG_NONE,
+                  uint8_t scale = 1, int64_t disp = 0)
+    { return emit({Op::St32, REG_NONE, base, idx, val, scale, disp}); }
+    uint32_t prefetch(uint8_t base, uint8_t idx = REG_NONE,
+                      uint8_t scale = 1, int64_t disp = 0)
+    { return emit({Op::Pref, REG_NONE, base, idx, REG_NONE, scale,
+                   disp}); }
+
+    uint32_t fadd(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::FAdd, rd, a, b}); }
+    uint32_t fmul(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::FMul, rd, a, b}); }
+    uint32_t fdiv(uint8_t rd, uint8_t a, uint8_t b)
+    { return emit({Op::FDiv, rd, a, b}); }
+
+    /** Emit a pre-encoded instruction (for tests and tooling). */
+    uint32_t emitRaw(const Inst &i) { return emit(i); }
+
+    /** Resolve all labels and return the finished program. */
+    Program build();
+
+    /** Current instruction count. */
+    uint32_t pc() const { return uint32_t(prog_.insts_.size()); }
+
+  private:
+    uint32_t emit(Inst i);
+    uint32_t emitBranch(Op op, uint8_t cond, Label target);
+
+    Program prog_;
+    // label id -> bound pc (UINT32_MAX if unbound)
+    std::vector<uint32_t> label_pcs_;
+    // (inst pc, label id) fixups resolved in build()
+    std::vector<std::pair<uint32_t, uint32_t>> fixups_;
+    bool built_ = false;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_ISA_INST_HH

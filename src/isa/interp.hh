@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional interpreter for vrsim programs.
+ *
+ * The same stepper drives (a) the committed execution of the main
+ * thread (producing the dynamic stream for the timing model) and
+ * (b) speculative execution contexts used by the runahead engines
+ * (Discovery Mode, vector lanes), where stores are suppressed.
+ */
+
+#ifndef VRSIM_ISA_INTERP_HH
+#define VRSIM_ISA_INTERP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "isa/memory_image.hh"
+
+namespace vrsim
+{
+
+/** Architectural register + PC state of one hardware context. */
+struct CpuState
+{
+    std::array<uint64_t, NUM_ARCH_REGS> regs{};
+    uint32_t pc = 0;
+    bool halted = false;
+
+    uint64_t
+    reg(uint8_t r) const
+    {
+        panicIfNot(r < NUM_ARCH_REGS, "register out of range");
+        return regs[r];
+    }
+
+    void
+    setReg(uint8_t r, uint64_t v)
+    {
+        panicIfNot(r < NUM_ARCH_REGS, "register out of range");
+        regs[r] = v;
+    }
+};
+
+/** Everything the timing model needs to know about one executed µop. */
+struct StepInfo
+{
+    uint32_t pc = 0;          //!< pc of the executed instruction
+    uint32_t next_pc = 0;     //!< pc after execution
+    const Inst *inst = nullptr;
+    bool is_mem = false;
+    bool is_store = false;
+    uint64_t addr = 0;        //!< effective address of memory ops
+    uint8_t size = 0;         //!< access size in bytes
+    bool is_branch = false;
+    bool taken = false;
+    bool halted = false;
+    uint64_t dst_value = 0;   //!< value written to rd (loads: loaded value)
+};
+
+/**
+ * Execute one instruction.
+ *
+ * @param prog        the program
+ * @param state       context to advance (pc and registers updated)
+ * @param mem         functional memory
+ * @param speculative when true, stores do not modify memory (runahead
+ *                    semantics: transient execution must not be
+ *                    architecturally visible)
+ */
+StepInfo step(const Program &prog, CpuState &state, MemoryImage &mem,
+              bool speculative = false);
+
+/**
+ * Compute the effective address of a memory instruction given a
+ * register-read callback; shared by the interpreter and the vector
+ * engines (which read lane registers out of the VRAT instead).
+ */
+template <typename ReadReg>
+uint64_t
+effectiveAddress(const Inst &inst, ReadReg &&read)
+{
+    uint64_t ea = read(inst.rs1) + uint64_t(inst.imm);
+    if (inst.rs2 != REG_NONE)
+        ea += read(inst.rs2) * inst.scale;
+    return ea;
+}
+
+/**
+ * Run the program to completion (or inst_limit) updating architectural
+ * state only; used by workload self-checks and tests.
+ *
+ * @return number of instructions executed.
+ */
+uint64_t run(const Program &prog, CpuState &state, MemoryImage &mem,
+             uint64_t inst_limit = 0);
+
+} // namespace vrsim
+
+#endif // VRSIM_ISA_INTERP_HH

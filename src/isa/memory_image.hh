@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The functional memory image: a sparse, page-granular, byte-addressed
+ * 64-bit address space holding the workload's data. Timing is modelled
+ * separately (src/mem); this class only stores values.
+ */
+
+#ifndef VRSIM_ISA_MEMORY_IMAGE_HH
+#define VRSIM_ISA_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/**
+ * Sparse memory. Unbacked addresses read as zero, which also makes
+ * speculative (runahead) wild loads safe by construction.
+ */
+class MemoryImage
+{
+  public:
+    static constexpr uint64_t PAGE_BITS = 16;
+    static constexpr uint64_t PAGE_SIZE = 1ull << PAGE_BITS;
+    static constexpr uint64_t PAGE_MASK = PAGE_SIZE - 1;
+
+    uint64_t
+    read64(uint64_t addr) const
+    {
+        uint64_t v = 0;
+        readBytes(addr, &v, 8);
+        return v;
+    }
+
+    uint32_t
+    read32(uint64_t addr) const
+    {
+        uint32_t v = 0;
+        readBytes(addr, &v, 4);
+        return v;
+    }
+
+    void write64(uint64_t addr, uint64_t v) { writeBytes(addr, &v, 8); }
+    void write32(uint64_t addr, uint32_t v) { writeBytes(addr, &v, 4); }
+
+    double
+    readF64(uint64_t addr) const
+    {
+        uint64_t bits = read64(addr);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
+
+    void
+    writeF64(uint64_t addr, double d)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        write64(addr, bits);
+    }
+
+    /** Number of resident pages (for footprint reporting). */
+    size_t residentPages() const { return pages_.size(); }
+
+    /** Total resident bytes. */
+    uint64_t footprintBytes() const { return pages_.size() * PAGE_SIZE; }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    const Page *
+    findPage(uint64_t page_no) const
+    {
+        auto it = pages_.find(page_no);
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    Page &
+    getPage(uint64_t page_no)
+    {
+        auto it = pages_.find(page_no);
+        if (it == pages_.end())
+            it = pages_.emplace(page_no, Page(PAGE_SIZE, 0)).first;
+        return it->second;
+    }
+
+    void
+    readBytes(uint64_t addr, void *out, size_t n) const
+    {
+        auto *dst = static_cast<uint8_t *>(out);
+        while (n > 0) {
+            uint64_t page_no = addr >> PAGE_BITS;
+            uint64_t off = addr & PAGE_MASK;
+            size_t chunk = std::min<uint64_t>(n, PAGE_SIZE - off);
+            if (const Page *p = findPage(page_no))
+                std::memcpy(dst, p->data() + off, chunk);
+            else
+                std::memset(dst, 0, chunk);
+            dst += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    void
+    writeBytes(uint64_t addr, const void *in, size_t n)
+    {
+        auto *src = static_cast<const uint8_t *>(in);
+        while (n > 0) {
+            uint64_t page_no = addr >> PAGE_BITS;
+            uint64_t off = addr & PAGE_MASK;
+            size_t chunk = std::min<uint64_t>(n, PAGE_SIZE - off);
+            std::memcpy(getPage(page_no).data() + off, src, chunk);
+            src += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    std::unordered_map<uint64_t, Page> pages_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_ISA_MEMORY_IMAGE_HH

@@ -1,0 +1,136 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+namespace
+{
+
+std::array<OpTraits, size_t(Op::NumOps)>
+buildTraits()
+{
+    std::array<OpTraits, size_t(Op::NumOps)> t{};
+    auto set = [&t](Op op, OpTraits tr) { t[size_t(op)] = tr; };
+
+    OpTraits alu{.writes_dst = true, .fu = FuClass::IntAdd};
+    OpTraits alu_imm = alu;
+    alu_imm.has_imm = true;
+
+    set(Op::Nop, {});
+    set(Op::Halt, {});
+    set(Op::Movi, {.writes_dst = true, .has_imm = true,
+                   .fu = FuClass::IntAdd});
+    set(Op::Mov, alu);
+    set(Op::Add, alu);
+    set(Op::Sub, alu);
+    set(Op::Mul, {.writes_dst = true, .fu = FuClass::IntMul});
+    set(Op::Divu, {.writes_dst = true, .fu = FuClass::IntDiv});
+    set(Op::And, alu);
+    set(Op::Or, alu);
+    set(Op::Xor, alu);
+    set(Op::Shl, alu);
+    set(Op::Shr, alu);
+    set(Op::Addi, alu_imm);
+    set(Op::Muli, {.writes_dst = true, .has_imm = true,
+                   .fu = FuClass::IntMul});
+    set(Op::Andi, alu_imm);
+    set(Op::Shli, alu_imm);
+    set(Op::Shri, alu_imm);
+    set(Op::Hash, {.writes_dst = true, .has_imm = true,
+                   .fu = FuClass::IntMul});
+
+    OpTraits cmp{.is_compare = true, .writes_dst = true,
+                 .fu = FuClass::IntAdd};
+    OpTraits cmp_imm = cmp;
+    cmp_imm.has_imm = true;
+    set(Op::CmpLt, cmp);
+    set(Op::CmpLtu, cmp);
+    set(Op::CmpEq, cmp);
+    set(Op::CmpNe, cmp);
+    set(Op::CmpLti, cmp_imm);
+    set(Op::CmpEqi, cmp_imm);
+
+    set(Op::Br, {.is_branch = true, .is_cond_branch = true,
+                 .has_imm = true, .fu = FuClass::Branch});
+    set(Op::Brz, {.is_branch = true, .is_cond_branch = true,
+                  .has_imm = true, .fu = FuClass::Branch});
+    set(Op::Jmp, {.is_branch = true, .has_imm = true,
+                  .fu = FuClass::Branch});
+
+    set(Op::Ld, {.is_load = true, .writes_dst = true, .has_imm = true,
+                 .fu = FuClass::Load});
+    set(Op::Ld32, {.is_load = true, .writes_dst = true, .has_imm = true,
+                   .fu = FuClass::Load});
+    set(Op::St, {.is_store = true, .has_imm = true, .fu = FuClass::Store});
+    set(Op::St32, {.is_store = true, .has_imm = true,
+                   .fu = FuClass::Store});
+    set(Op::Pref, {.is_prefetch = true, .has_imm = true,
+                   .fu = FuClass::Load});
+
+    set(Op::FAdd, {.writes_dst = true, .fu = FuClass::FpAdd});
+    set(Op::FMul, {.writes_dst = true, .fu = FuClass::FpMul});
+    set(Op::FDiv, {.writes_dst = true, .fu = FuClass::FpDiv});
+    return t;
+}
+
+const std::array<OpTraits, size_t(Op::NumOps)> TRAITS = buildTraits();
+
+} // namespace
+
+const OpTraits &
+opTraits(Op op)
+{
+    panicIfNot(size_t(op) < size_t(Op::NumOps), "bad opcode");
+    return TRAITS[size_t(op)];
+}
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+      case Op::Movi: return "movi";
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Divu: return "divu";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Addi: return "addi";
+      case Op::Muli: return "muli";
+      case Op::Andi: return "andi";
+      case Op::Shli: return "shli";
+      case Op::Shri: return "shri";
+      case Op::Hash: return "hash";
+      case Op::CmpLt: return "cmplt";
+      case Op::CmpLtu: return "cmpltu";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpNe: return "cmpne";
+      case Op::CmpLti: return "cmplti";
+      case Op::CmpEqi: return "cmpeqi";
+      case Op::Br: return "br";
+      case Op::Brz: return "brz";
+      case Op::Jmp: return "jmp";
+      case Op::Ld: return "ld";
+      case Op::Ld32: return "ld32";
+      case Op::St: return "st";
+      case Op::St32: return "st32";
+      case Op::Pref: return "pref";
+      case Op::FAdd: return "fadd";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::NumOps: break;
+    }
+    panic("unknown opcode");
+}
+
+} // namespace vrsim

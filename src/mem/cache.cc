@@ -1,0 +1,106 @@
+#include "mem/cache.hh"
+
+namespace vrsim
+{
+
+CacheArray::CacheArray(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    panicIfNot(cfg.line_bytes > 0 && cfg.assoc > 0,
+               "bad cache geometry");
+    uint32_t lines = cfg.size_bytes / cfg.line_bytes;
+    panicIfNot(lines >= cfg.assoc, "cache smaller than one set");
+    num_sets_ = lines / cfg.assoc;
+    panicIfNot(num_sets_ > 0, "cache must have at least one set");
+    sets_.assign(num_sets_, std::vector<Line>(cfg.assoc));
+}
+
+CacheArray::Line *
+CacheArray::lookup(uint64_t line_addr, Cycle cycle)
+{
+    for (Line &l : set(line_addr)) {
+        if (l.valid && l.tag == line_addr) {
+            if (cfg_.repl == ReplPolicy::Lru)
+                l.last_use = cycle;
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+CacheArray::Line *
+CacheArray::victimIn(std::vector<Line> &s)
+{
+    for (Line &l : s)
+        if (!l.valid)
+            return &l;
+    switch (cfg_.repl) {
+      case ReplPolicy::Lru:
+      case ReplPolicy::Fifo: {
+        // FIFO: last_use is only written at insertion, so the oldest
+        // insertion is evicted; LRU refreshes it on every hit.
+        Line *v = &s[0];
+        for (Line &l : s)
+            if (l.last_use < v->last_use)
+                v = &l;
+        return v;
+      }
+      case ReplPolicy::Random: {
+        rand_state_ ^= rand_state_ << 13;
+        rand_state_ ^= rand_state_ >> 7;
+        rand_state_ ^= rand_state_ << 17;
+        return &s[rand_state_ % s.size()];
+      }
+    }
+    panic("unknown replacement policy");
+}
+
+const CacheArray::Line *
+CacheArray::peek(uint64_t line_addr) const
+{
+    for (const Line &l : set(line_addr)) {
+        if (l.valid && l.tag == line_addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+std::optional<CacheArray::Line>
+CacheArray::insert(uint64_t line_addr, Cycle cycle, Cycle fill_time,
+                   Requester origin)
+{
+    auto &s = set(line_addr);
+    for (Line &l : s) {
+        if (l.valid && l.tag == line_addr) {
+            // Refill of a present line: just refresh metadata.
+            l.fill_time = std::min(l.fill_time, fill_time);
+            if (cfg_.repl == ReplPolicy::Lru)
+                l.last_use = cycle;
+            return std::nullopt;
+        }
+    }
+    Line *victim = victimIn(s);
+    std::optional<Line> evicted;
+    if (victim->valid)
+        evicted = *victim;
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->fill_time = fill_time;
+    victim->last_use = cycle;
+    victim->origin = origin;
+    victim->used_since_fill = false;
+    return evicted;
+}
+
+void
+CacheArray::invalidate(uint64_t line_addr)
+{
+    for (Line &l : set(line_addr)) {
+        if (l.valid && l.tag == line_addr) {
+            l.valid = false;
+            return;
+        }
+    }
+}
+
+} // namespace vrsim

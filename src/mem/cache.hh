@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A tag-only set-associative cache with LRU replacement and a bank of
+ * miss-status holding registers (MSHRs). Data values live in the
+ * functional MemoryImage; this class models timing and occupancy only.
+ */
+
+#ifndef VRSIM_MEM_CACHE_HH
+#define VRSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/interval_resource.hh"
+#include "mem/request.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/**
+ * Bank of MSHRs. Each in-flight line miss occupies one register from
+ * issue until fill. Built on IntervalResource so reservations can be
+ * made non-chronologically (see interval_resource.hh). Also
+ * integrates occupancy over time so the driver can report average
+ * outstanding misses per cycle (Fig. 9's MLP metric).
+ */
+class MshrBank
+{
+  public:
+    explicit MshrBank(uint32_t entries)
+        : entries_(entries), res_(entries, 3)
+    {}
+
+    /**
+     * Allocate an MSHR for a miss issued at @p cycle whose fill takes
+     * @p fill_latency cycles. If the bank is saturated around that
+     * time the allocation is delayed.
+     *
+     * @param fill_out receives the fill-completion cycle
+     * @return the cycle the request actually issued
+     */
+    Cycle
+    allocate(Cycle cycle, Cycle fill_latency, Cycle &fill_out)
+    {
+        Cycle issue = res_.allocate(cycle, fill_latency);
+        fill_out = issue + fill_latency;
+        return issue;
+    }
+
+    /** Number of registers busy around @p cycle. */
+    uint32_t busyAt(Cycle cycle) const { return res_.busyAt(cycle); }
+
+    uint32_t size() const { return entries_; }
+    uint64_t allocations() const { return res_.allocations(); }
+    uint64_t stalls() const { return res_.stalls(); }
+
+    /** Sum over time of busy registers (cycles x registers). */
+    uint64_t busyIntegral() const { return res_.busyIntegral(); }
+
+    void reset() { res_.reset(); }
+
+  private:
+    uint32_t entries_;
+    IntervalResource res_;
+};
+
+/**
+ * Tag array with LRU replacement. Lines carry their fill time so a
+ * demand access arriving before the fill completes observes the
+ * remaining fill latency (hit-under-fill), which is what makes
+ * prefetch timeliness measurable.
+ */
+class CacheArray
+{
+  public:
+    CacheArray(std::string name, const CacheConfig &cfg);
+
+    struct Line
+    {
+        uint64_t tag = 0;   //!< full line address (tag + index)
+        bool valid = false;
+        Cycle fill_time = 0;   //!< cycle at which data is present
+        Cycle last_use = 0;    //!< LRU timestamp
+        Requester origin = Requester::Demand;
+        bool used_since_fill = false;
+    };
+
+    /** Probe for a line; returns nullptr on miss. Updates
+     *  replacement state (LRU recency; FIFO/Random ignore it). */
+    Line *lookup(uint64_t line_addr, Cycle cycle);
+
+    /** Probe without updating replacement state. */
+    const Line *peek(uint64_t line_addr) const;
+
+    /**
+     * Insert a line (victim evicted by LRU).
+     * @return the evicted line if a valid one was displaced.
+     */
+    std::optional<Line> insert(uint64_t line_addr, Cycle cycle,
+                               Cycle fill_time, Requester origin);
+
+    /** Invalidate a line if present (back-invalidation). */
+    void invalidate(uint64_t line_addr);
+
+    uint32_t lineBytes() const { return cfg_.line_bytes; }
+    uint64_t lineAddr(uint64_t addr) const
+    { return addr / cfg_.line_bytes; }
+
+    uint32_t numSets() const { return num_sets_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::vector<Line> &set(uint64_t line_addr)
+    { return sets_[line_addr % num_sets_]; }
+    const std::vector<Line> &set(uint64_t line_addr) const
+    { return sets_[line_addr % num_sets_]; }
+
+    /** Pick the victim way per the configured policy. */
+    Line *victimIn(std::vector<Line> &set);
+
+    std::string name_;
+    CacheConfig cfg_;
+    uint32_t num_sets_;
+    std::vector<std::vector<Line>> sets_;
+    uint64_t rand_state_ = 0x2545F4914F6CDD1Dull;  //!< Random policy
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_MEM_CACHE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Request-based DRAM contention model: fixed minimum latency plus a
+ * single shared channel whose service rate is the configured bandwidth
+ * (Table 1: 50 ns minimum latency, 51.2 GB/s).
+ */
+
+#ifndef VRSIM_MEM_DRAM_HH
+#define VRSIM_MEM_DRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mem/interval_resource.hh"
+#include "mem/request.hh"
+#include "sim/config.hh"
+
+namespace vrsim
+{
+
+/** Bandwidth-limited memory channel. */
+class DramModel
+{
+  public:
+    DramModel(const DramConfig &cfg, uint32_t line_bytes)
+        : cfg_(cfg),
+          service_cycles_(std::max<Cycle>(
+              1, Cycle(double(line_bytes) * cfg.channels /
+                       cfg.bytes_per_cycle))),
+          channel_(std::max(1u, cfg.channels), 0)
+    {}
+
+    /**
+     * Issue a line fill at @p cycle. Each of the `channels` channels
+     * serves one line per (per-channel) service interval; the
+     * aggregate bandwidth matches bytes_per_cycle. Reservations may
+     * be made at any point on the timeline (interval_resource.hh).
+     *
+     * @return the cycle at which the line's data is available.
+     */
+    Cycle
+    access(Cycle cycle)
+    {
+        Cycle start = channel_.allocate(cycle, service_cycles_);
+        ++accesses_;
+        queue_delay_ += (start - cycle);
+        return start + cfg_.latency;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t queueDelay() const { return queue_delay_; }
+    Cycle serviceCycles() const { return service_cycles_; }
+
+    void
+    reset()
+    {
+        channel_.reset();
+        accesses_ = 0;
+        queue_delay_ = 0;
+    }
+
+  private:
+    DramConfig cfg_;
+    Cycle service_cycles_;
+    IntervalResource channel_;
+    uint64_t accesses_ = 0;
+    uint64_t queue_delay_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_MEM_DRAM_HH

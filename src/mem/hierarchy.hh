@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The three-level cache hierarchy with MSHRs, DRAM bandwidth model,
+ * the always-on L1D stride prefetcher, the optional IMP, and the
+ * accounting needed for the paper's accuracy/coverage/timeliness
+ * figures.
+ */
+
+#ifndef VRSIM_MEM_HIERARCHY_HH
+#define VRSIM_MEM_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "isa/memory_image.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/interval_resource.hh"
+#include "mem/request.hh"
+#include "mem/stride_rpt.hh"
+#include "sim/config.hh"
+
+namespace vrsim
+{
+
+class ImpPrefetcher;
+
+/** Aggregated memory-system statistics for one simulation run. */
+struct MemStats
+{
+    // Demand accesses by level serviced.
+    uint64_t demand_accesses = 0;
+    uint64_t demand_l1_hits = 0;
+    uint64_t demand_l2_hits = 0;
+    uint64_t demand_l3_hits = 0;
+    uint64_t demand_mem = 0;
+    uint64_t demand_latency_sum = 0;   //!< total demand latency cycles
+
+    // DRAM line fills attributed to their requester.
+    std::array<uint64_t, 4> dram_by_requester{};
+
+    // Runahead-prefetch timeliness: where the main thread found
+    // runahead-prefetched lines on first use (Fig. 11).
+    uint64_t pf_lines_filled = 0;   //!< runahead prefetch fills issued
+    uint64_t pf_used_l1 = 0;
+    uint64_t pf_used_l2 = 0;
+    uint64_t pf_used_l3 = 0;
+    uint64_t pf_used_inflight = 0;  //!< arrived while still in transfer
+
+    uint64_t dramTotal() const
+    {
+        uint64_t t = 0;
+        for (uint64_t v : dram_by_requester)
+            t += v;
+        return t;
+    }
+
+    /** Counter-wise difference (for warmup exclusion). */
+    MemStats
+    since(const MemStats &w) const
+    {
+        MemStats d = *this;
+        d.demand_accesses -= w.demand_accesses;
+        d.demand_l1_hits -= w.demand_l1_hits;
+        d.demand_l2_hits -= w.demand_l2_hits;
+        d.demand_l3_hits -= w.demand_l3_hits;
+        d.demand_mem -= w.demand_mem;
+        d.demand_latency_sum -= w.demand_latency_sum;
+        for (size_t i = 0; i < d.dram_by_requester.size(); i++)
+            d.dram_by_requester[i] -= w.dram_by_requester[i];
+        d.pf_lines_filled -= w.pf_lines_filled;
+        d.pf_used_l1 -= w.pf_used_l1;
+        d.pf_used_l2 -= w.pf_used_l2;
+        d.pf_used_l3 -= w.pf_used_l3;
+        d.pf_used_inflight -= w.pf_used_inflight;
+        return d;
+    }
+};
+
+/**
+ * Timing model of the memory system. Data values live in the
+ * functional MemoryImage; the hierarchy answers "when is this byte
+ * usable" and maintains all occupancy/traffic accounting.
+ */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const SystemConfig &cfg, MemoryImage &image);
+    ~MemoryHierarchy();
+
+    /**
+     * Perform one timed access.
+     *
+     * @param addr   byte address
+     * @param pc     program counter of the memory instruction (trains
+     *               the prefetchers; pass 0 for pc-less requests)
+     * @param cycle  issue cycle
+     * @param is_store true for stores (write-allocate)
+     * @param who    requester class for accounting
+     */
+    AccessResult access(uint64_t addr, uint64_t pc, Cycle cycle,
+                        bool is_store, Requester who);
+
+    /** Probe-only: would @p addr hit in L1D right now? */
+    bool inL1(uint64_t addr) const;
+
+    /** Line size in bytes. */
+    uint32_t lineBytes() const { return l1d_.lineBytes(); }
+
+    /** Average L1D MSHR occupancy per cycle over [0, cycles). */
+    double
+    mlp(Cycle cycles) const
+    {
+        return cycles ? double(l1_mshrs_.busyIntegral()) / double(cycles)
+                      : 0.0;
+    }
+
+    /** L1D MSHR bank (for occupancy queries by the runahead engines). */
+    const MshrBank &l1Mshrs() const { return l1_mshrs_; }
+
+    const MemStats &stats() const { return stats_; }
+    const StrideRpt &strideRpt() const { return stride_rpt_; }
+    DramModel &dram() { return dram_; }
+
+    /** Enable the IMP (constructed only for Technique::Imp). */
+    void enableImp();
+
+  private:
+    friend class ImpPrefetcher;
+
+    /**
+     * The internal access path; @p train controls prefetcher training
+     * so prefetch requests do not train the prefetchers on themselves.
+     */
+    AccessResult accessInternal(uint64_t addr, Cycle cycle, bool is_store,
+                                Requester who);
+
+    void runStridePrefetcher(uint64_t pc, uint64_t addr, Cycle cycle);
+
+    SystemConfig cfg_;
+    MemoryImage &image_;
+
+    CacheArray l1d_;
+    CacheArray l2_;
+    CacheArray l3_;
+    IntervalResource l1_ports_;  //!< L1D access ports: the main
+                                 //!< thread and the runahead
+                                 //!< subthread contend here (§4.2)
+    MshrBank l1_mshrs_;
+    MshrBank l2_mshrs_;
+    MshrBank l3_mshrs_;
+    DramModel dram_;
+
+    StrideRpt stride_rpt_;
+    std::unique_ptr<ImpPrefetcher> imp_;
+
+    MemStats stats_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_MEM_HIERARCHY_HH

@@ -1,0 +1,159 @@
+#include "mem/imp.hh"
+
+#include "isa/memory_image.hh"
+#include "mem/hierarchy.hh"
+
+namespace vrsim
+{
+
+namespace
+{
+/** Coefficients IMP tries when matching indirect patterns. */
+constexpr int64_t COEFFS[] = {1, 2, 4, 8};
+} // namespace
+
+ImpPrefetcher::ImpPrefetcher(const ImpConfig &cfg, MemoryHierarchy &hier,
+                             MemoryImage &image)
+    : cfg_(cfg), hier_(hier), image_(image),
+      streams_(cfg.table_entries), patterns_(cfg.table_entries),
+      candidates_(cfg.table_entries)
+{
+}
+
+ImpPrefetcher::StrideStream *
+ImpPrefetcher::findStream(uint64_t pc)
+{
+    for (auto &s : streams_) {
+        if (s.valid && s.pc == pc)
+            return &s;
+    }
+    return nullptr;
+}
+
+ImpPrefetcher::StrideStream *
+ImpPrefetcher::allocStream(uint64_t pc)
+{
+    StrideStream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lru < victim->lru)
+            victim = &s;
+    }
+    *victim = StrideStream{};
+    victim->pc = pc;
+    victim->valid = true;
+    return victim;
+}
+
+void
+ImpPrefetcher::observe(uint64_t pc, uint64_t addr, uint64_t value,
+                       uint8_t size, Cycle cycle)
+{
+    ++tick_;
+
+    // 1. Stride-stream training.
+    StrideStream *s = findStream(pc);
+    if (!s)
+        s = allocStream(pc);
+    int64_t stride = int64_t(addr) - int64_t(s->last_addr);
+    if (s->last_addr != 0 && stride == s->stride && stride != 0) {
+        if (s->confidence < 3)
+            ++s->confidence;
+    } else if (s->last_addr != 0) {
+        s->stride = stride;
+        s->confidence = 0;
+    }
+    s->last_addr = addr;
+    s->lru = tick_;
+    s->size = size;
+    // Shift the observed-value window.
+    s->value[1] = s->value[0];
+    s->have[1] = s->have[0];
+    s->value[0] = value;
+    s->have[0] = true;
+
+    // 2. Candidate matching: does this load's address correlate with a
+    //    previous stride load's value?
+    for (auto &st : streams_) {
+        if (!st.valid || st.pc == pc || st.confidence < cfg_.train_threshold)
+            continue;
+        if (!st.have[0] || !st.have[1])
+            continue;
+        for (int64_t coeff : COEFFS) {
+            uint64_t base0 = addr - st.value[0] * uint64_t(coeff);
+            // Look for an existing candidate verified by the older
+            // value; promote to a pattern on the second match.
+            bool matched = false;
+            for (auto &c : candidates_) {
+                if (c.valid && c.stride_pc == st.pc &&
+                    c.indirect_pc == pc && c.coeff == coeff &&
+                    c.base == base0) {
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched) {
+                // Verified twice: install the pattern.
+                bool exists = false;
+                for (auto &p : patterns_) {
+                    if (p.valid && p.stride_pc == st.pc &&
+                        p.indirect_pc == pc) {
+                        p.base = base0;
+                        p.coeff = coeff;
+                        exists = true;
+                        break;
+                    }
+                }
+                if (!exists) {
+                    for (auto &p : patterns_) {
+                        if (!p.valid) {
+                            p = IndirectPattern{st.pc, pc, base0, coeff,
+                                                0, true};
+                            break;
+                        }
+                    }
+                }
+            } else {
+                // Record a fresh candidate keyed off the current value.
+                for (auto &c : candidates_) {
+                    if (!c.valid) {
+                        c = Candidate{st.pc, pc, base0, coeff, true};
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Prefetch generation: when a stride stream with an installed
+    //    pattern advances, fetch the indirect target `distance` ahead.
+    if (s->confidence >= cfg_.train_threshold && s->stride != 0) {
+        for (auto &p : patterns_) {
+            if (!p.valid || p.stride_pc != pc)
+                continue;
+            uint64_t future_addr = uint64_t(
+                int64_t(addr) + s->stride * int64_t(cfg_.prefetch_distance));
+            // Cover the index stream itself so the future index line
+            // is on chip by the time its iteration's prefetch fires.
+            hier_.accessInternal(future_addr, cycle, false,
+                                 Requester::Imp);
+            // Real IMP reads index values out of cache lines it has
+            // already fetched; it cannot conjure values from DRAM.
+            // Only compute the indirect target if the index line is
+            // resident in the L1 by now.
+            if (!hier_.inL1(future_addr))
+                continue;
+            uint64_t future_value = s->size == 4
+                ? image_.read32(future_addr) : image_.read64(future_addr);
+            uint64_t target =
+                p.base + future_value * uint64_t(p.coeff);
+            hier_.accessInternal(target, cycle, false, Requester::Imp);
+            ++issued_;
+        }
+    }
+}
+
+} // namespace vrsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Indirect Memory Prefetcher (Yu et al., MICRO 2015), the paper's IMP
+ * baseline: detects `A[f(B[i])]` patterns where a striding load's value
+ * linearly determines a subsequent load's address, then prefetches the
+ * indirect targets of future stride iterations.
+ */
+
+#ifndef VRSIM_MEM_IMP_HH
+#define VRSIM_MEM_IMP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/config.hh"
+
+namespace vrsim
+{
+
+class MemoryHierarchy;
+class MemoryImage;
+
+/**
+ * IMP implementation. For each confident stride stream it keeps the
+ * last values loaded; when another load PC's address matches
+ * `base + value * coeff` for a small set of coefficients across two
+ * consecutive observations, an indirect pattern entry is created.
+ * Thereafter, every stride advance prefetches the indirect target of
+ * the iteration `distance` ahead (reading future index values from
+ * the functional image, as real IMP reads them from prefetched lines).
+ */
+class ImpPrefetcher
+{
+  public:
+    ImpPrefetcher(const ImpConfig &cfg, MemoryHierarchy &hier,
+                  MemoryImage &image);
+
+    /** Observe a committed demand load (pc, addr, loaded value). */
+    void observe(uint64_t pc, uint64_t addr, uint64_t value, uint8_t size,
+                 Cycle cycle);
+
+    /** Number of established indirect patterns (for tests). */
+    size_t patterns() const { return patterns_.size(); }
+
+    uint64_t prefetchesIssued() const { return issued_; }
+
+  private:
+    struct StrideStream
+    {
+        uint64_t pc = 0;
+        uint64_t last_addr = 0;
+        int64_t stride = 0;
+        uint8_t confidence = 0;
+        uint8_t size = 8;
+        // Last two loaded values for candidate matching.
+        uint64_t value[2] = {0, 0};
+        bool have[2] = {false, false};
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    struct IndirectPattern
+    {
+        uint64_t stride_pc = 0;   //!< producing stride stream
+        uint64_t indirect_pc = 0; //!< consuming indirect load
+        uint64_t base = 0;
+        int64_t coeff = 0;
+        uint8_t hits = 0;         //!< verification count
+        bool valid = false;
+    };
+
+    struct Candidate
+    {
+        uint64_t stride_pc = 0;
+        uint64_t indirect_pc = 0;
+        uint64_t base = 0;
+        int64_t coeff = 0;
+        bool valid = false;
+    };
+
+    StrideStream *findStream(uint64_t pc);
+    StrideStream *allocStream(uint64_t pc);
+
+    ImpConfig cfg_;
+    MemoryHierarchy &hier_;
+    MemoryImage &image_;
+    std::vector<StrideStream> streams_;
+    std::vector<IndirectPattern> patterns_;
+    std::vector<Candidate> candidates_;
+    uint64_t tick_ = 0;
+    uint64_t issued_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_MEM_IMP_HH

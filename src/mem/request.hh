@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Memory-request vocabulary shared by the hierarchy and its clients.
+ */
+
+#ifndef VRSIM_MEM_REQUEST_HH
+#define VRSIM_MEM_REQUEST_HH
+
+#include <cstdint>
+
+namespace vrsim
+{
+
+/** Simulated time in core cycles. */
+using Cycle = uint64_t;
+
+/** Who generated a memory request (for accuracy/coverage accounting). */
+enum class Requester : uint8_t
+{
+    Demand,     //!< the main thread's own loads/stores
+    Runahead,   //!< PRE/VR/DVR generated prefetches
+    StridePf,   //!< the always-on L1D stride prefetcher
+    Imp,        //!< the indirect memory prefetcher
+};
+
+/** Which level serviced an access. */
+enum class HitLevel : uint8_t
+{
+    L1 = 1,
+    L2 = 2,
+    L3 = 3,
+    Memory = 4,
+};
+
+/** Timing outcome of one access. */
+struct AccessResult
+{
+    Cycle latency = 0;       //!< cycles from issue to data available
+    HitLevel level = HitLevel::L1;
+    bool mshr_merged = false; //!< merged into an in-flight miss
+    bool mshr_stalled = false; //!< delayed waiting for a free MSHR
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_MEM_REQUEST_HH

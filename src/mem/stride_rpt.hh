@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reference Prediction Table (Chen & Baer): per-PC stride detection
+ * with saturating confidence. Shared by the L1D stride prefetcher and
+ * the runahead engines' stride detector (the paper's 32-entry, 460-byte
+ * structure with an innermost bit per entry).
+ */
+
+#ifndef VRSIM_MEM_STRIDE_RPT_HH
+#define VRSIM_MEM_STRIDE_RPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/** One RPT entry (budget: 48b PC, 48b last addr, 16b stride, 2b ctr,
+ *  1b innermost). */
+struct RptEntry
+{
+    uint64_t pc = 0;
+    bool valid = false;
+    uint64_t last_addr = 0;
+    int64_t stride = 0;
+    uint8_t confidence = 0;   //!< 2-bit saturating counter
+    bool innermost = false;   //!< set by Discovery Mode (DVR)
+    uint64_t lru = 0;
+};
+
+/** The Reference Prediction Table. */
+class StrideRpt
+{
+  public:
+    StrideRpt(uint32_t entries, uint8_t confidence_threshold)
+        : entries_(entries), threshold_(confidence_threshold)
+    {
+        panicIfNot(entries > 0, "RPT needs at least one entry");
+    }
+
+    /**
+     * Train on a load's (pc, address) pair.
+     * @return pointer to the entry after training.
+     */
+    RptEntry *
+    train(uint64_t pc, uint64_t addr)
+    {
+        ++tick_;
+        RptEntry *e = find(pc);
+        if (!e) {
+            e = victim();
+            *e = RptEntry{};
+            e->pc = pc;
+            e->valid = true;
+            e->last_addr = addr;
+            e->lru = tick_;
+            return e;
+        }
+        int64_t stride = int64_t(addr) - int64_t(e->last_addr);
+        if (stride == e->stride && stride != 0) {
+            if (e->confidence < 3)
+                ++e->confidence;
+        } else {
+            e->stride = stride;
+            e->confidence = e->confidence > 0 ? e->confidence - 1 : 0;
+        }
+        e->last_addr = addr;
+        e->lru = tick_;
+        return e;
+    }
+
+    /** Confident, nonzero-stride entry for pc, or nullptr. */
+    const RptEntry *
+    predict(uint64_t pc) const
+    {
+        for (const RptEntry &e : table_) {
+            if (e.valid && e.pc == pc && e.stride != 0 &&
+                e.confidence >= threshold_) {
+                return &e;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Whether pc has a confident striding entry. */
+    bool isStriding(uint64_t pc) const { return predict(pc) != nullptr; }
+
+    /** Mutable entry lookup (for the innermost bit). */
+    RptEntry *
+    find(uint64_t pc)
+    {
+        for (RptEntry &e : table_) {
+            if (e.valid && e.pc == pc)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    uint32_t capacity() const { return entries_; }
+
+    void
+    reset()
+    {
+        table_.assign(entries_, RptEntry{});
+        tick_ = 0;
+    }
+
+  private:
+    RptEntry *
+    victim()
+    {
+        if (table_.size() < entries_) {
+            table_.emplace_back();
+            return &table_.back();
+        }
+        RptEntry *v = &table_[0];
+        for (RptEntry &e : table_) {
+            if (!e.valid)
+                return &e;
+            if (e.lru < v->lru)
+                v = &e;
+        }
+        return v;
+    }
+
+    uint32_t entries_;
+    uint8_t threshold_;
+    std::vector<RptEntry> table_;
+    uint64_t tick_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_MEM_STRIDE_RPT_HH

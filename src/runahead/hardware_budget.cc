@@ -1,0 +1,22 @@
+#include "runahead/hardware_budget.hh"
+
+namespace vrsim
+{
+
+void
+printHardwareBudget(std::ostream &os, const HardwareBudget &b)
+{
+    os << "stride detector   " << b.stride_detector_bytes << " B\n"
+       << "VRAT              " << b.vrat_bytes << " B\n"
+       << "VIR               " << b.vir_bytes << " B\n"
+       << "front-end buffer  " << b.frontend_buffer_bytes << " B\n"
+       << "reconv. stack     " << b.reconv_stack_bytes << " B\n"
+       << "FLR               " << b.flr_bytes << " B\n"
+       << "LCR               " << b.lcr_bytes << " B\n"
+       << "loop-bound det.   " << b.loop_bound_bytes << " B\n"
+       << "taint tracker     " << b.taint_bytes << " B\n"
+       << "NDM (IR+ILR)      " << b.ndm_bytes << " B\n"
+       << "total             " << b.total() << " B\n";
+}
+
+} // namespace vrsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware overhead accounting (paper §4.4): computes the storage cost
+ * in bytes of every DVR structure from the configuration. With the
+ * paper's parameters the total is 1139 bytes.
+ */
+
+#ifndef VRSIM_RUNAHEAD_HARDWARE_BUDGET_HH
+#define VRSIM_RUNAHEAD_HARDWARE_BUDGET_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "sim/config.hh"
+
+namespace vrsim
+{
+
+/** Per-structure storage budget in bits/bytes. */
+struct HardwareBudget
+{
+    uint64_t stride_detector_bytes = 0;
+    uint64_t vrat_bytes = 0;
+    uint64_t vir_bytes = 0;
+    uint64_t frontend_buffer_bytes = 0;
+    uint64_t reconv_stack_bytes = 0;
+    uint64_t flr_bytes = 0;
+    uint64_t lcr_bytes = 0;
+    uint64_t loop_bound_bytes = 0;
+    uint64_t taint_bytes = 0;
+    uint64_t ndm_bytes = 0;   //!< IR + ILR (+ SBB bit, rounded in)
+
+    uint64_t
+    total() const
+    {
+        return stride_detector_bytes + vrat_bytes + vir_bytes +
+               frontend_buffer_bytes + reconv_stack_bytes + flr_bytes +
+               lcr_bytes + loop_bound_bytes + taint_bytes + ndm_bytes;
+    }
+};
+
+/**
+ * Compute the budget for a configuration, following the paper's §4.4
+ * accounting (bit widths per field, rounded as in the paper).
+ *
+ * @param cfg            runahead configuration (table geometries)
+ * @param arch_regs      architectural integer registers (16 for the
+ *                       paper's x86 accounting)
+ */
+inline HardwareBudget
+computeHardwareBudget(const RunaheadConfig &cfg, unsigned arch_regs = 16)
+{
+    HardwareBudget b;
+
+    // Stride detector: 48b PC + 48b last addr + 16b stride + 2b ctr +
+    // 1b innermost = 115 bits per entry.
+    b.stride_detector_bytes = cfg.stride_entries * 115 / 8;
+
+    // VRAT: 16 entries x 16 register ids x 9 bits.
+    b.vrat_bytes = arch_regs * cfg.vector_regs * 9 / 8;
+
+    // VIR: 128b mask + 16b issued + 16b executed + 64b uop/imm +
+    // 9x16 dst + 10x16 src1 + 10x16 src2 = 688 bits.
+    b.vir_bytes = (cfg.max_lanes() + 16 + 16 + 64 +
+                   9 * cfg.vector_regs + 10 * cfg.vector_regs +
+                   10 * cfg.vector_regs) / 8;
+
+    // Front-end buffer: 8 micro-ops x 8 bytes.
+    b.frontend_buffer_bytes = cfg.frontend_buffer_uops * 8;
+
+    // Reconvergence stack: 8 entries x (48b PC + 128b mask) = 176b,
+    // i.e. 22 bytes each (the paper quotes 176 bytes total).
+    b.reconv_stack_bytes =
+        cfg.reconv_stack_entries * (48 + cfg.max_lanes()) / 8;
+
+    b.flr_bytes = 6;           // one 48-bit load PC
+    b.lcr_bytes = 2;           // two register ids
+
+    // Loop-bound detector: two register-map checkpoints of
+    // 16 x 8-bit ids plus two instruction registers = 48 bytes.
+    b.loop_bound_bytes = 2 * arch_regs * 8 / 8 + 16;
+
+    b.taint_bytes = arch_regs / 8;   // one bit per integer register
+
+    // NDM: IR (7 bits) + ILR (6 bytes); SBB's single bit rides along
+    // in the IR byte.
+    b.ndm_bytes = 1 + 6;
+
+    return b;
+}
+
+/** Print a §4.4-style breakdown. */
+void printHardwareBudget(std::ostream &os, const HardwareBudget &b);
+
+} // namespace vrsim
+
+#endif // VRSIM_RUNAHEAD_HARDWARE_BUDGET_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * GPU-style reconvergence stack (paper §4.2.3, Fig. 6): entries of
+ * (PC, 128-bit lane mask). On divergence the lanes are split by their
+ * next PC; the first group executes to the termination point, then the
+ * stack pops and execution proceeds with the next group.
+ */
+
+#ifndef VRSIM_RUNAHEAD_RECONV_STACK_HH
+#define VRSIM_RUNAHEAD_RECONV_STACK_HH
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/**
+ * Maximum scalar-equivalent lanes per DVR invocation the simulator
+ * supports. The paper's configuration uses 128 (16 vector registers x
+ * 8 lanes); 256 enables the wider-DVR design point discussed in its
+ * §6.1 (NAS-CG/NAS-IS would need 256-element DVR to reach Oracle).
+ */
+constexpr unsigned MAX_LANES = 256;
+
+/** Lane mask covering up to MAX_LANES lanes. */
+using LaneMask = std::bitset<MAX_LANES>;
+
+/** The reconvergence stack. */
+class ReconvergenceStack
+{
+  public:
+    struct Entry
+    {
+        uint32_t pc = 0;
+        LaneMask mask;
+    };
+
+    explicit ReconvergenceStack(uint32_t capacity = 8)
+        : capacity_(capacity)
+    {}
+
+    bool empty() const { return stack_.empty(); }
+    size_t depth() const { return stack_.size(); }
+
+    /**
+     * Push a divergent group. If the stack is full the group's lanes
+     * are dropped (masked off), which only loses prefetch coverage —
+     * runahead execution is transient so this is safe.
+     *
+     * @return true if pushed, false if dropped for capacity
+     */
+    bool
+    push(uint32_t pc, const LaneMask &mask)
+    {
+        if (stack_.size() >= capacity_) {
+            ++drops_;
+            return false;
+        }
+        stack_.push_back({pc, mask});
+        return true;
+    }
+
+    /** Pop the next group to execute. */
+    Entry
+    pop()
+    {
+        panicIfNot(!stack_.empty(), "pop from empty reconvergence stack");
+        Entry e = stack_.back();
+        stack_.pop_back();
+        return e;
+    }
+
+    uint64_t drops() const { return drops_; }
+    uint32_t capacity() const { return capacity_; }
+
+    void clear() { stack_.clear(); }
+
+  private:
+    uint32_t capacity_;
+    std::vector<Entry> stack_;
+    uint64_t drops_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_RUNAHEAD_RECONV_STACK_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Vector Taint Tracker (VTT, paper §4.1.2): one bit per
+ * architectural integer register, marking values derived from the
+ * initiating striding load. Taint propagates through register
+ * dataflow and is killed by untainted overwrites.
+ */
+
+#ifndef VRSIM_RUNAHEAD_TAINT_TRACKER_HH
+#define VRSIM_RUNAHEAD_TAINT_TRACKER_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace vrsim
+{
+
+/** VTT: tracks which architectural registers carry tainted values. */
+class TaintTracker
+{
+  public:
+    /** Clear all taint and seed the striding load's destination. */
+    void
+    init(uint8_t seed_reg)
+    {
+        bits_ = 0;
+        if (seed_reg != REG_NONE)
+            set(seed_reg);
+    }
+
+    void clear() { bits_ = 0; }
+
+    bool
+    isTainted(uint8_t reg) const
+    {
+        return reg != REG_NONE && (bits_ >> reg) & 1;
+    }
+
+    void set(uint8_t reg) { bits_ |= 1ull << reg; }
+    void unset(uint8_t reg) { bits_ &= ~(1ull << reg); }
+
+    /** Whether any source register of @p inst is tainted. */
+    bool
+    sourceTainted(const Inst &inst) const
+    {
+        if (isTainted(inst.rs1) || isTainted(inst.rs2))
+            return true;
+        if (inst.isStore() && isTainted(inst.rs3))
+            return true;
+        return false;
+    }
+
+    /**
+     * Propagate taint across one instruction: destinations of tainted
+     * sources become tainted; untainted writes clear a previously
+     * tainted destination (paper §4.1.2).
+     */
+    void
+    propagate(const Inst &inst)
+    {
+        if (!inst.writesDst())
+            return;
+        if (sourceTainted(inst))
+            set(inst.rd);
+        else
+            unset(inst.rd);
+    }
+
+    uint64_t raw() const { return bits_; }
+
+  private:
+    uint64_t bits_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_RUNAHEAD_TAINT_TRACKER_HH

@@ -1,0 +1,107 @@
+#include "runahead/vector_runahead.hh"
+
+#include <algorithm>
+
+namespace vrsim
+{
+
+void
+VectorRunahead::onInstruction(const StepInfo &si, const CpuState &after,
+                              Cycle cycle)
+{
+    (void)after;
+    (void)cycle;
+    // Train the runahead stride detector on the main thread's loads
+    // (software prefetches are non-binding and do not train).
+    if (si.is_mem && !si.is_store && !si.inst->isPrefetch())
+        rpt_.train(si.pc, si.addr);
+}
+
+Cycle
+VectorRunahead::onFullRobStall(Cycle stall_start, Cycle head_fill,
+                               const CpuState &frontier,
+                               TriggerKind kind)
+{
+    (void)kind;   // VR vectorizes from the stride detector, whose
+                  // future iterations are on the correct path even
+                  // when the trigger came from a wrong-path window.
+    ++stats_.triggers;
+
+    // Runahead mode: transiently execute the future instruction
+    // stream from the fetch frontier until a striding load is found
+    // (the front-end keeps supplying instructions at `width` per
+    // cycle while the ROB drains nothing).
+    CpuState scan = frontier;
+    const uint32_t scan_cap = cfg_.runahead.discovery_max_insts;
+    uint32_t scanned = 0;
+    const RptEntry *entry = nullptr;
+    StepInfo hit{};
+    while (!scan.halted && scanned < scan_cap) {
+        StepInfo si = step(prog_, scan, image_, true);
+        ++scanned;
+        if (si.is_mem && !si.is_store) {
+            if (const RptEntry *e = rpt_.predict(si.pc)) {
+                entry = e;
+                hit = si;
+                break;
+            }
+        }
+    }
+    if (!entry)
+        return head_fill;
+
+    ++stats_.vectorizations;
+
+    // Speculatively vectorize: 128 lanes covering the next 128
+    // iterations of the striding load, unconditionally (VR has no
+    // loop-bound inference — the source of its over-fetching).
+    const uint32_t lanes_n = cfg_.runahead.max_lanes();
+    const int64_t stride = entry->stride;
+    const uint64_t base = hit.addr;
+
+    // The vector gathers for the striding load itself: 16 AVX-512
+    // copies issued back to back starting one cycle into runahead.
+    VectorIssueRegister vir(cfg_.runahead);
+    Cycle t0 = stall_start + cfg_.core.frontend_stages / 3 +
+               scanned / cfg_.core.width;
+    vir.start(t0);
+    LaneMask all;
+    for (uint32_t j = 0; j < lanes_n; j++)
+        all.set(j);
+    Cycle gather0 = vir.issue(all, true);
+
+    std::vector<Lane> lanes(lanes_n);
+    const Inst &sload = *hit.inst;
+    for (uint32_t j = 0; j < lanes_n; j++) {
+        Lane &lane = lanes[j];
+        lane.ctx = scan;
+        lane.ctx.pc = hit.next_pc;
+        uint64_t addr = uint64_t(int64_t(base) + stride * int64_t(j + 1));
+        Cycle issue = gather0 + vir.copyOf(j, all);
+        AccessResult res = hier_.access(addr, 0, issue, false,
+                                        Requester::Runahead);
+        ++stats_.prefetches;
+        lane.ready = issue + res.latency;
+        uint64_t value = sload.op == Op::Ld32 ? image_.read32(addr)
+                                              : image_.read64(addr);
+        if (sload.writesDst())
+            lane.ctx.setReg(sload.rd, value);
+    }
+    stats_.lanes_spawned += lanes_n;
+
+    // Run the dependence chain: VR follows the first lane's control
+    // flow and invalidates divergent lanes; it does not know the FLR,
+    // so lanes run until the next occurrence of the striding load.
+    LaneRunStats lr = executor_.run(lanes, hit.pc, 0, false, false,
+                                    vir.now());
+    stats_.prefetches += lr.prefetches;
+    stats_.lanes_invalidated += lr.invalidated;
+
+    // Delayed termination: runahead ends only when the entire chain's
+    // accesses have been generated.
+    Cycle exit = std::max(head_fill, lr.end_time);
+    stats_.delayed_term_cycles += exit - head_fill;
+    return exit;
+}
+
+} // namespace vrsim

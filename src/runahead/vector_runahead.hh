@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Vector Runahead (Naithani et al., ISCA 2021), the headline
+ * technique: triggered on a full-ROB stall, it scans the future
+ * instruction stream for a striding load (via the stride detector),
+ * speculatively vectorizes its forward dependence chain over 128
+ * future loop iterations (16 AVX-512-style gathers), and issues all
+ * lanes' memory accesses. Runahead only terminates once the whole
+ * chain's accesses have been generated (delayed termination), which
+ * can stall commit past the blocking load's return.
+ */
+
+#ifndef VRSIM_RUNAHEAD_VECTOR_RUNAHEAD_HH
+#define VRSIM_RUNAHEAD_VECTOR_RUNAHEAD_HH
+
+#include <cstdint>
+
+#include "core/engine.hh"
+#include "mem/stride_rpt.hh"
+#include "runahead/lane_executor.hh"
+#include "sim/config.hh"
+
+namespace vrsim
+{
+
+/** Statistics of the VR engine. */
+struct VrStats
+{
+    uint64_t triggers = 0;        //!< full-ROB stalls seen
+    uint64_t vectorizations = 0;  //!< stalls where a stride was found
+    uint64_t lanes_spawned = 0;
+    uint64_t prefetches = 0;
+    uint64_t lanes_invalidated = 0; //!< control-divergent lanes killed
+    uint64_t delayed_term_cycles = 0; //!< commit stalled past head fill
+};
+
+/** The Vector Runahead engine. */
+class VectorRunahead : public RunaheadEngine
+{
+  public:
+    VectorRunahead(const SystemConfig &cfg, const Program &prog,
+                   MemoryImage &image, MemoryHierarchy &hier)
+        : cfg_(cfg), prog_(prog), image_(image), hier_(hier),
+          rpt_(cfg.runahead.stride_entries,
+               uint8_t(cfg.runahead.stride_confidence)),
+          executor_(cfg_.runahead, prog, image, hier)
+    {
+        rpt_.reset();
+    }
+
+    void onInstruction(const StepInfo &si, const CpuState &after,
+                       Cycle cycle) override;
+
+    Cycle onFullRobStall(Cycle stall_start, Cycle head_fill,
+                         const CpuState &frontier,
+                         TriggerKind kind) override;
+
+    const char *name() const override { return "VR"; }
+
+    const VrStats &stats() const { return stats_; }
+    const StrideRpt &rpt() const { return rpt_; }
+
+  private:
+    const SystemConfig &cfg_;
+    const Program &prog_;
+    MemoryImage &image_;
+    MemoryHierarchy &hier_;
+    StrideRpt rpt_;
+    LaneExecutor executor_;
+    VrStats stats_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_RUNAHEAD_VECTOR_RUNAHEAD_HH

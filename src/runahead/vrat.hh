@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Vector Register Allocation Table (paper §4.2.1, Fig. 4): maps each
+ * architectural integer register of the subthread to either one shared
+ * scalar physical register or a set of vector physical registers (one
+ * per in-flight AVX-512 copy). Physical registers are shared with the
+ * main thread, so the VRAT enforces the configured free-list budgets.
+ */
+
+#ifndef VRSIM_RUNAHEAD_VRAT_HH
+#define VRSIM_RUNAHEAD_VRAT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcodes.hh"
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/**
+ * The VRAT resource model. Lane *values* live in the engine's
+ * functional lane contexts; this class models the register mapping
+ * and free-list occupancy so vectorization stalls when physical
+ * registers run out, as real hardware would.
+ */
+class Vrat
+{
+  public:
+    /**
+     * @param scalar_free  scalar physical registers available to the
+     *                     subthread (beyond the main thread's needs)
+     * @param vector_free  vector physical registers available
+     * @param vector_regs  vector registers per architectural mapping
+     *                     (16 in the paper: 16 x 8 lanes = 128)
+     */
+    Vrat(uint32_t scalar_free, uint32_t vector_free, uint32_t vector_regs)
+        : scalar_budget_(scalar_free), vector_budget_(vector_free),
+          vector_regs_(vector_regs)
+    {
+        reset();
+    }
+
+    /**
+     * Initialize for a new subthread invocation: every architectural
+     * register gets a fresh scalar physical register (decoupling the
+     * subthread from the main thread's map).
+     */
+    void
+    reset()
+    {
+        scalar_used_ = 0;
+        vector_used_ = 0;
+        failed_ = false;
+        for (auto &m : map_) {
+            m.vectorized = false;
+            m.scalar_allocated = false;
+        }
+        // Fresh scalar copies of all architectural registers.
+        for (auto &m : map_) {
+            if (scalar_used_ < scalar_budget_) {
+                ++scalar_used_;
+                m.scalar_allocated = true;
+            }
+        }
+    }
+
+    /** Is the architectural register currently vectorized? */
+    bool
+    isVectorized(uint8_t reg) const
+    {
+        return reg != REG_NONE && map_[reg].vectorized;
+    }
+
+    /**
+     * Vectorize the destination register: allocate vector_regs_
+     * vector physical registers (paper: 16 AVX-512 registers).
+     *
+     * @return false if the free list is exhausted (the engine must
+     *         stop expanding; tracked via failed()).
+     */
+    bool
+    vectorizeDst(uint8_t reg)
+    {
+        panicIfNot(reg < NUM_ARCH_REGS, "bad register");
+        Mapping &m = map_[reg];
+        if (m.vectorized)
+            return true;
+        if (vector_used_ + vector_regs_ > vector_budget_) {
+            failed_ = true;
+            return false;
+        }
+        vector_used_ += vector_regs_;
+        if (m.scalar_allocated) {
+            --scalar_used_;          // freed on overwrite
+            m.scalar_allocated = false;
+        }
+        m.vectorized = true;
+        return true;
+    }
+
+    /**
+     * A scalar instruction overwrites a vectorized destination (WAW in
+     * the original code): rename back to a scalar physical register,
+     * freeing the vector set.
+     */
+    bool
+    scalarizeDst(uint8_t reg)
+    {
+        panicIfNot(reg < NUM_ARCH_REGS, "bad register");
+        Mapping &m = map_[reg];
+        if (m.vectorized) {
+            vector_used_ -= vector_regs_;
+            m.vectorized = false;
+        }
+        if (!m.scalar_allocated) {
+            if (scalar_used_ >= scalar_budget_) {
+                failed_ = true;
+                return false;
+            }
+            ++scalar_used_;
+            m.scalar_allocated = true;
+        }
+        return true;
+    }
+
+    uint32_t scalarUsed() const { return scalar_used_; }
+    uint32_t vectorUsed() const { return vector_used_; }
+    bool failed() const { return failed_; }
+
+  private:
+    struct Mapping
+    {
+        bool vectorized = false;
+        bool scalar_allocated = false;
+    };
+
+    uint32_t scalar_budget_;
+    uint32_t vector_budget_;
+    uint32_t vector_regs_;
+    uint32_t scalar_used_ = 0;
+    uint32_t vector_used_ = 0;
+    bool failed_ = false;
+    std::array<Mapping, NUM_ARCH_REGS> map_{};
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_RUNAHEAD_VRAT_HH

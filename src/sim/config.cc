@@ -1,0 +1,67 @@
+#include "sim/config.hh"
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+std::string
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::OoO: return "OoO";
+      case Technique::Pre: return "PRE";
+      case Technique::Imp: return "IMP";
+      case Technique::Vr: return "VR";
+      case Technique::DvrOffload: return "DVR-Offload";
+      case Technique::DvrDiscovery: return "DVR-Discovery";
+      case Technique::Dvr: return "DVR";
+      case Technique::Oracle: return "Oracle";
+    }
+    panic("unknown technique");
+}
+
+SystemConfig
+SystemConfig::paper()
+{
+    return SystemConfig{};
+}
+
+SystemConfig
+SystemConfig::benchScale()
+{
+    SystemConfig cfg;
+    // Inputs in the harness are ~100-1000x smaller than the paper's
+    // graphs; shrink L2/L3 so the LLC is still defeated while L1
+    // behaviour stays realistic.
+    cfg.l2.size_bytes = 64 * 1024;
+    cfg.l3.size_bytes = 512 * 1024;
+    cfg.l3.latency = 30;
+    cfg.dram.latency = 200;
+    return cfg;
+}
+
+void
+printConfig(std::ostream &os, const SystemConfig &cfg)
+{
+    os << "core            " << cfg.core.width << "-wide OoO, ROB "
+       << cfg.core.rob_size << ", IQ " << cfg.core.issue_queue << ", LQ "
+       << cfg.core.load_queue << ", SQ " << cfg.core.store_queue
+       << ", " << cfg.core.frontend_stages << " front-end stages\n";
+    os << "L1 D-cache      " << cfg.l1d.size_bytes / 1024 << " KB, assoc "
+       << cfg.l1d.assoc << ", " << cfg.l1d.latency << "-cycle, "
+       << cfg.l1d.mshrs << " MSHRs\n";
+    os << "L2 cache        " << cfg.l2.size_bytes / 1024 << " KB, assoc "
+       << cfg.l2.assoc << ", " << cfg.l2.latency << "-cycle\n";
+    os << "L3 cache        " << cfg.l3.size_bytes / 1024 << " KB, assoc "
+       << cfg.l3.assoc << ", " << cfg.l3.latency << "-cycle\n";
+    os << "memory          " << cfg.dram.latency << "-cycle min latency, "
+       << cfg.dram.bytes_per_cycle << " B/cycle\n";
+    os << "stride pf       "
+       << (cfg.stride_pf.enabled ? "enabled" : "disabled") << ", "
+       << cfg.stride_pf.streams << " streams, degree "
+       << cfg.stride_pf.degree << "\n";
+    os << "technique       " << techniqueName(cfg.technique) << "\n";
+}
+
+} // namespace vrsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Logging, panic and fatal helpers in the gem5 tradition.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * or configuration errors (clean exit); warn()/inform() report status.
+ */
+
+#ifndef VRSIM_SIM_LOGGING_HH
+#define VRSIM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace vrsim
+{
+
+/** Exception thrown by panic() so tests can assert on invariants. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal() for user/configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Report an internal simulator invariant violation.
+ *
+ * Throws PanicError so unit tests can exercise defensive checks without
+ * terminating the test binary.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+/** Report an unrecoverable user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+/** Report suspicious but survivable conditions. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operational status. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless the condition holds. */
+inline void
+panicIfNot(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace vrsim
+
+#endif // VRSIM_SIM_LOGGING_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * A small statistics package: scalar counters, averages, distributions
+ * and formulas, registered in a named group and printable as a table.
+ */
+
+#ifndef VRSIM_SIM_STATS_HH
+#define VRSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/** A named scalar statistic (a 64-bit counter or double value). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** Arithmetic-mean statistic: accumulates samples, reports the mean. */
+class Average
+{
+  public:
+    Average() = default;
+    explicit Average(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    void sample(double v) { sum_ += v; count_ += 1; }
+
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    const std::string &name() const { return name_; }
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, max) with uniform bucket width,
+ * plus an overflow bucket. Used e.g. for MSHR-occupancy distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(std::string name, size_t buckets, double bucket_width)
+        : name_(std::move(name)), width_(bucket_width),
+          counts_(buckets + 1, 0)
+    {
+        panicIfNot(buckets > 0 && bucket_width > 0,
+                   "histogram needs positive geometry");
+    }
+
+    void
+    sample(double v, uint64_t weight = 1)
+    {
+        size_t idx = v < 0 ? 0 : size_t(v / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        counts_[idx] += weight;
+        total_ += weight;
+        sum_ += v * double(weight);
+    }
+
+    uint64_t total() const { return total_; }
+    double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
+    const std::vector<uint64_t> &buckets() const { return counts_; }
+
+    /** Fraction of samples in bucket i. */
+    double
+    fraction(size_t i) const
+    {
+        panicIfNot(i < counts_.size(), "histogram bucket out of range");
+        return total_ ? double(counts_[i]) / double(total_) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+        sum_ = 0.0;
+    }
+
+  private:
+    std::string name_;
+    double width_ = 1.0;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named group of scalar statistics; supports lookup, dumping and
+ * reset. Engines register their counters here so the driver can print
+ * uniform result tables.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats") : name_(std::move(name))
+    {}
+
+    /** Create (or fetch) a scalar by name. */
+    Scalar &
+    scalar(const std::string &name, const std::string &desc = "")
+    {
+        auto it = scalars_.find(name);
+        if (it == scalars_.end())
+            it = scalars_.emplace(name, Scalar(name, desc)).first;
+        return it->second;
+    }
+
+    bool has(const std::string &name) const { return scalars_.count(name); }
+
+    double
+    value(const std::string &name) const
+    {
+        auto it = scalars_.find(name);
+        if (it == scalars_.end())
+            panic("unknown stat: " + name);
+        return it->second.value();
+    }
+
+    void
+    reset()
+    {
+        for (auto &kv : scalars_)
+            kv.second.reset();
+    }
+
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : scalars_)
+            os << name_ << "." << kv.first << " " << kv.second.value()
+               << "\n";
+    }
+
+    const std::map<std::string, Scalar> &all() const { return scalars_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Scalar> scalars_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_SIM_STATS_HH

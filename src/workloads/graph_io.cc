@@ -1,0 +1,132 @@
+#include "workloads/graph_io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+namespace
+{
+
+Graph
+fromPairs(std::vector<std::pair<uint64_t, uint64_t>> &el)
+{
+    if (el.empty())
+        fatal("graph file contains no edges");
+    uint64_t nodes = 0;
+    for (auto &e : el)
+        nodes = std::max({nodes, e.first + 1, e.second + 1});
+
+    Graph g;
+    g.num_nodes = nodes;
+    g.num_edges = el.size();
+    g.offsets.assign(nodes + 1, 0);
+    for (auto &e : el)
+        ++g.offsets[e.first + 1];
+    for (uint64_t v = 0; v < nodes; v++)
+        g.offsets[v + 1] += g.offsets[v];
+    g.edges.resize(el.size());
+    std::vector<uint64_t> cursor(g.offsets.begin(),
+                                 g.offsets.end() - 1);
+    for (auto &e : el)
+        g.edges[cursor[e.first]++] = e.second;
+    return g;
+}
+
+bool
+isCommentOrBlank(const std::string &line)
+{
+    for (char c : line) {
+        if (c == ' ' || c == '\t')
+            continue;
+        return c == '#' || c == '%';
+    }
+    return true;
+}
+
+} // namespace
+
+Graph
+readEdgeList(std::istream &in)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> el;
+    std::string line;
+    uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (isCommentOrBlank(line))
+            continue;
+        std::istringstream ls(line);
+        uint64_t src, dst;
+        if (!(ls >> src >> dst))
+            fatal("malformed edge-list line " + std::to_string(lineno)
+                  + ": '" + line + "'");
+        el.emplace_back(src, dst);
+    }
+    return fromPairs(el);
+}
+
+Graph
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    // Skip the banner and comments.
+    do {
+        if (!std::getline(in, line))
+            fatal("MatrixMarket file has no size line");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream hdr(line);
+    uint64_t rows, cols, nnz;
+    if (!(hdr >> rows >> cols >> nnz))
+        fatal("malformed MatrixMarket size line: '" + line + "'");
+
+    std::vector<std::pair<uint64_t, uint64_t>> el;
+    el.reserve(nnz);
+    uint64_t seen = 0;
+    while (seen < nnz && std::getline(in, line)) {
+        if (isCommentOrBlank(line))
+            continue;
+        std::istringstream ls(line);
+        uint64_t r, c;
+        if (!(ls >> r >> c))
+            fatal("malformed MatrixMarket entry: '" + line + "'");
+        if (r == 0 || c == 0)
+            fatal("MatrixMarket indices are 1-based; got a zero");
+        el.emplace_back(r - 1, c - 1);
+        ++seen;
+    }
+    if (seen != nnz)
+        fatal("MatrixMarket file truncated: expected "
+              + std::to_string(nnz) + " entries, got "
+              + std::to_string(seen));
+    return fromPairs(el);
+}
+
+Graph
+loadGraph(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open graph file: " + path);
+    if (path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".mtx") == 0) {
+        return readMatrixMarket(in);
+    }
+    return readEdgeList(in);
+}
+
+void
+writeEdgeList(std::ostream &out, const Graph &g)
+{
+    for (uint64_t v = 0; v < g.num_nodes; v++)
+        for (uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; e++)
+            out << v << " " << g.edges[e] << "\n";
+}
+
+} // namespace vrsim

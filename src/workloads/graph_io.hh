@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Graph file I/O: load real graphs for the GAP kernels instead of the
+ * synthetic generators. Supports plain edge lists ("src dst" per
+ * line, '#'/'%' comments) and MatrixMarket coordinate files.
+ */
+
+#ifndef VRSIM_WORKLOADS_GRAPH_IO_HH
+#define VRSIM_WORKLOADS_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/graph.hh"
+
+namespace vrsim
+{
+
+/**
+ * Load an edge-list graph from a stream: one "src dst" pair per line,
+ * whitespace separated, lines starting with '#' or '%' ignored.
+ * Vertex ids are 0-based; the node count is max id + 1.
+ *
+ * @throws FatalError on malformed input or an empty graph.
+ */
+Graph readEdgeList(std::istream &in);
+
+/**
+ * Load a MatrixMarket coordinate file (the header and the size line
+ * are consumed; 1-based indices are converted to 0-based).
+ */
+Graph readMatrixMarket(std::istream &in);
+
+/**
+ * Load a graph from @p path, dispatching on the extension: ".mtx"
+ * uses MatrixMarket, everything else the edge-list reader.
+ *
+ * @throws FatalError if the file cannot be opened.
+ */
+Graph loadGraph(const std::string &path);
+
+/** Write a graph as an edge list (round-trip/testing aid). */
+void writeEdgeList(std::ostream &out, const Graph &g);
+
+} // namespace vrsim
+
+#endif // VRSIM_WORKLOADS_GRAPH_IO_HH

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * The eight hpc-db benchmarks (paper §5): Camel, Graph500, HJ2, HJ8,
+ * Kangaroo, NAS-CG, NAS-IS, RandomAccess — database and HPC kernels
+ * with one to three levels of indirect memory accesses.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+namespace
+{
+
+// Register conventions for the hpc-db kernels.
+constexpr uint8_t R_A = 1;
+constexpr uint8_t R_B = 2;
+constexpr uint8_t R_C = 3;
+constexpr uint8_t R_I = 4;
+constexpr uint8_t R_N = 5;
+constexpr uint8_t R_MASK = 6;
+constexpr uint8_t R_T1 = 7;
+constexpr uint8_t R_T2 = 8;
+constexpr uint8_t R_T3 = 9;
+constexpr uint8_t R_T4 = 10;
+constexpr uint8_t R_CND = 11;
+constexpr uint8_t R_SUM = 12;
+constexpr uint8_t R_P = 13;
+constexpr uint8_t R_MASK2 = 14;
+
+} // namespace
+
+Workload
+makeCamel(const HpcDbScale &scale)
+{
+    // Figure 1 of the paper: C[hash(B[hash(A[i])])]++, a two-level
+    // hashed indirect chain behind a striding induction load.
+    Workload w;
+    w.name = "camel";
+    Layout lay;
+    const uint64_t n = scale.elements;
+    Rng rng(scale.seed);
+
+    std::vector<uint64_t> a(n);
+    for (auto &v : a)
+        v = rng.next();
+    uint64_t a_base = lay.put64(w.image, a);
+    uint64_t b_base = lay.alloc(n * 8);
+    uint64_t c_base = lay.alloc(n * 8);
+    for (uint64_t i = 0; i < n; i++)
+        w.image.write64(b_base + i * 8, rng.next());
+
+    // The hashes are emitted as their real µop sequences (~9 µops
+    // each) so the per-miss instruction density matches compiled
+    // code; see ProgramBuilder::hashSeq.
+    ProgramBuilder b(w.name);
+    auto top = b.here();
+    b.ld(R_T1, R_A, R_I, 8);        // A[i]            (stride)
+    b.hashSeq(R_T2, R_T1, R_MASK2);
+    b.andi(R_T2, R_T2, int64_t(n - 1));
+    b.ld(R_T3, R_B, R_T2, 8);       // B[hash(A[i])]   (indirect 1)
+    b.hashSeq(R_T4, R_T3, R_MASK2, 1);
+    b.andi(R_T4, R_T4, int64_t(n - 1));
+    b.ld(R_T1, R_C, R_T4, 8);       // C[hash(B[..])]  (indirect 2)
+    b.addi(R_T1, R_T1, 1);
+    b.st(R_T1, R_C, R_T4, 8);
+    b.addi(R_I, R_I, 1);
+    b.cmpltu(R_CND, R_I, R_N);
+    b.br(R_CND, top);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_A] = a_base;
+    w.init.regs[R_B] = b_base;
+    w.init.regs[R_C] = c_base;
+    w.init.regs[R_N] = n;
+    return w;
+}
+
+Workload
+makeCamelSwPf(const HpcDbScale &scale)
+{
+    // Camel with software prefetching for indirect accesses
+    // (Ainsworth & Jones, CGO 2017 -- the paper's §7.3 comparison):
+    // a staged look-ahead that prefetches A[i+2D] and, after loading
+    // A[i+D] and hashing it, B[hash(A[i+D])]. The final C level
+    // cannot be prefetched without also loading B[i+D], which is the
+    // scheme's well-known depth limitation.
+    Workload w;
+    w.name = "camel-swpf";
+    Layout lay;
+    const uint64_t n = scale.elements;
+    Rng rng(scale.seed);
+
+    std::vector<uint64_t> a(n + 256);
+    for (auto &v : a)
+        v = rng.next();
+    uint64_t a_base = lay.put64(w.image, a);
+    uint64_t b_base = lay.alloc(n * 8);
+    uint64_t c_base = lay.alloc(n * 8);
+    for (uint64_t i = 0; i < n; i++)
+        w.image.write64(b_base + i * 8, rng.next());
+
+    constexpr int64_t D = 16;   // per-stage look-ahead distance
+
+    ProgramBuilder b(w.name);
+    auto top = b.here();
+    // Stage 0 (distance 2D): cover the index stream.
+    b.prefetch(R_A, R_I, 8, 2 * D * 8);
+    // Stage 1 (distance D): load the future index, hash, prefetch B.
+    b.ld(R_T3, R_A, R_I, 8, D * 8);
+    b.hashSeq(R_T4, R_T3, R_MASK2);
+    b.andi(R_T4, R_T4, int64_t(n - 1));
+    b.prefetch(R_B, R_T4, 8);
+    // Stage 2 (distance 0): the actual computation.
+    b.ld(R_T1, R_A, R_I, 8);        // A[i]            (stride)
+    b.hashSeq(R_T2, R_T1, R_MASK2);
+    b.andi(R_T2, R_T2, int64_t(n - 1));
+    b.ld(R_T3, R_B, R_T2, 8);       // B[hash(A[i])]   (indirect 1)
+    b.hashSeq(R_T4, R_T3, R_MASK2, 1);
+    b.andi(R_T4, R_T4, int64_t(n - 1));
+    b.ld(R_T1, R_C, R_T4, 8);       // C[hash(B[..])]  (indirect 2)
+    b.addi(R_T1, R_T1, 1);
+    b.st(R_T1, R_C, R_T4, 8);
+    b.addi(R_I, R_I, 1);
+    b.cmpltu(R_CND, R_I, R_N);
+    b.br(R_CND, top);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_A] = a_base;
+    w.init.regs[R_B] = b_base;
+    w.init.regs[R_C] = c_base;
+    w.init.regs[R_N] = n;
+    return w;
+}
+
+Workload
+makeGraph500(const HpcDbScale &scale)
+{
+    // Graph500 BFS (Algorithm 1): top-down step over a Kronecker
+    // graph recording a parent per vertex. The parent array (8 B per
+    // vertex) is the indirect, LLC-defeating state; parent == 0 means
+    // unvisited, so the visited check is a data-dependent branch on
+    // an indirect load, exactly as in the paper.
+    Workload w;
+    w.name = "graph500";
+    const uint64_t nodes = std::max<uint64_t>(4096, scale.elements);
+    Graph g = makeRmat(nodes, nodes * 16, 0.57, 0.19, 0.19,
+                       scale.seed + 9);
+    Layout lay;
+    uint64_t off = lay.put64(w.image, g.offsets);
+    uint64_t edg = lay.put64(w.image, g.edges);
+    uint64_t wl = lay.alloc((g.num_nodes + 64) * 8);
+    uint64_t parent = lay.alloc(g.num_nodes * 8);
+
+    // Seed well-connected roots (parent[root] = root + 1).
+    Rng rng(scale.seed ^ 0x500);
+    uint64_t seeds = 0;
+    for (uint64_t tries = 0; seeds < 8 && tries < 1000; tries++) {
+        uint64_t root = rng.below(g.num_nodes);
+        if (g.degree(root) == 0)
+            continue;
+        w.image.write64(wl + seeds * 8, root);
+        w.image.write64(parent + root * 8, root + 1);
+        ++seeds;
+    }
+    if (seeds == 0) {
+        w.image.write64(wl, 0);
+        w.image.write64(parent, 1);
+        seeds = 1;
+    }
+
+    constexpr uint8_t R_WL = 1, R_HEAD = 2, R_TAIL = 3, R_OFF = 4,
+                      R_EDG = 5, R_PAR = 6, R_V = 16, R_J = 8,
+                      R_END = 9, R_E = 10, R_VP = 15;
+
+    ProgramBuilder b(w.name);
+    auto exit_l = b.makeLabel();
+    auto skip_l = b.makeLabel();
+    auto outer_top = b.here();
+    b.cmpltu(R_CND, R_HEAD, R_TAIL);
+    b.brz(R_CND, exit_l);
+    b.ld(R_V, R_WL, R_HEAD, 8);          // v = wl[head]
+    b.addi(R_HEAD, R_HEAD, 1);
+    b.ld(R_J, R_OFF, R_V, 8);
+    b.ld(R_END, R_OFF, R_V, 8, 8);
+    b.addi(R_VP, R_V, 1);                // parent tag for v
+    b.cmpltu(R_CND, R_J, R_END);
+    b.brz(R_CND, outer_top);
+    auto inner_top = b.here();
+    b.ld(R_E, R_EDG, R_J, 8);            // e = edges[j]   (stride)
+    b.ld(R_T1, R_PAR, R_E, 8);           // parent[e]      (indirect)
+    b.br(R_T1, skip_l);                  // visited?
+    b.st(R_VP, R_PAR, R_E, 8);           // parent[e] = v + 1
+    b.st(R_E, R_WL, R_TAIL, 8);          // push e
+    b.addi(R_TAIL, R_TAIL, 1);
+    b.bind(skip_l);
+    b.addi(R_J, R_J, 1);
+    b.cmpltu(R_CND, R_J, R_END);
+    b.br(R_CND, inner_top);
+    b.jmp(outer_top);
+    b.bind(exit_l);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_WL] = wl;
+    w.init.regs[R_TAIL] = seeds;
+    w.init.regs[R_OFF] = off;
+    w.init.regs[R_EDG] = edg;
+    w.init.regs[R_PAR] = parent;
+    return w;
+}
+
+Workload
+makeHashJoin(unsigned hashes, const HpcDbScale &scale)
+{
+    // Hash-join probe phase: hash each probe key, load the bucket
+    // head, chase the chain comparing keys. `hashes` controls the
+    // average chain length (2 for HJ2, 8 for HJ8).
+    panicIfNot(hashes >= 1, "chain length must be positive");
+    Workload w;
+    w.name = "hj" + std::to_string(hashes);
+    Layout lay;
+    Rng rng(scale.seed ^ hashes);
+
+    const uint64_t tuples = scale.elements;
+    const uint64_t buckets = std::max<uint64_t>(64, tuples / hashes);
+    panicIfNot((buckets & (buckets - 1)) == 0 ||
+               true, "bucket count");
+    // Round buckets to a power of two for mask indexing.
+    uint64_t bmask = 1;
+    while (bmask * 2 <= buckets)
+        bmask *= 2;
+    const uint64_t nbuckets = bmask;
+
+    // Build-side nodes: {key, payload, next_ptr}, 24 bytes each,
+    // placed in shuffled order so chains jump around memory.
+    struct Node { uint64_t key, payload, next; };
+    const uint64_t node_bytes = 24;
+    uint64_t nodes_base = lay.alloc(tuples * node_bytes);
+    uint64_t heads_base = lay.alloc(nbuckets * 8);
+
+    std::vector<uint64_t> order(tuples);
+    for (uint64_t i = 0; i < tuples; i++)
+        order[i] = i;
+    for (uint64_t i = tuples - 1; i > 0; i--)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    std::vector<uint64_t> head(nbuckets, 0);
+    std::vector<uint64_t> keys(tuples);
+    for (uint64_t i = 0; i < tuples; i++) {
+        uint64_t key = rng.next() | 1;   // nonzero keys
+        keys[i] = key;
+        uint64_t h = hashMix64(key) & (nbuckets - 1);
+        uint64_t addr = nodes_base + order[i] * node_bytes;
+        w.image.write64(addr + 0, key);
+        w.image.write64(addr + 8, key ^ 0x9E3779B97F4A7C15ull);
+        w.image.write64(addr + 16, head[h]);
+        head[h] = addr;
+    }
+    for (uint64_t hh = 0; hh < nbuckets; hh++)
+        w.image.write64(heads_base + hh * 8, head[hh]);
+
+    // Probe keys: existing keys in random order.
+    std::vector<uint64_t> probes(tuples);
+    for (uint64_t i = 0; i < tuples; i++)
+        probes[i] = keys[rng.below(tuples)];
+    uint64_t probes_base = lay.put64(w.image, probes);
+
+    constexpr uint8_t R_KEYS = 1, R_HEADS = 2, R_K = 7, R_H = 8,
+                      R_NK = 9;
+
+    ProgramBuilder b(w.name);
+    auto probe_done = b.makeLabel();
+    auto match_l = b.makeLabel();
+    auto exit_l = b.makeLabel();
+    auto top = b.here();
+    b.ld(R_K, R_KEYS, R_I, 8);         // key = probes[i]  (stride)
+    b.hashSeq(R_H, R_K, R_MASK2);      // real hash µop sequence
+    b.andi(R_H, R_H, int64_t(nbuckets - 1));
+    b.ld(R_P, R_HEADS, R_H, 8);        // bucket head      (indirect 1)
+    auto chase = b.here();
+    b.brz(R_P, probe_done);
+    b.ld(R_NK, R_P, REG_NONE, 1, 0);   // node.key (pointer chase)
+    b.cmpeq(R_CND, R_NK, R_K);
+    b.br(R_CND, match_l);
+    b.ld(R_P, R_P, REG_NONE, 1, 16);   // node.next
+    b.jmp(chase);
+    b.bind(match_l);
+    b.ld(R_T1, R_P, REG_NONE, 1, 8);   // node.payload
+    b.add(R_SUM, R_SUM, R_T1);
+    b.bind(probe_done);
+    b.addi(R_I, R_I, 1);
+    b.cmpltu(R_CND, R_I, R_N);
+    b.br(R_CND, top);
+    b.jmp(exit_l);
+    b.bind(exit_l);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_KEYS] = probes_base;
+    w.init.regs[R_HEADS] = heads_base;
+    w.init.regs[R_N] = tuples;
+    return w;
+}
+
+Workload
+makeKangaroo(const HpcDbScale &scale)
+{
+    // Kangaroo: three-level indirect hop chain A -> B -> C.
+    Workload w;
+    w.name = "kangaroo";
+    Layout lay;
+    Rng rng(scale.seed ^ 0x4a6);
+    const uint64_t n = scale.elements;
+
+    std::vector<uint64_t> a(n), bv(n), c(n);
+    for (uint64_t i = 0; i < n; i++) {
+        a[i] = rng.below(n);
+        bv[i] = rng.below(n);
+        c[i] = rng.next();
+    }
+    uint64_t a_base = lay.put64(w.image, a);
+    uint64_t b_base = lay.put64(w.image, bv);
+    uint64_t c_base = lay.put64(w.image, c);
+
+    // Each hop recomputes its jump target with a full mix (the
+    // original kangaroo hops through tables via hashed indices),
+    // keeping a realistic µop/miss ratio.
+    ProgramBuilder b(w.name);
+    auto top = b.here();
+    b.ld(R_T1, R_A, R_I, 8);        // x = A[i]     (stride)
+    b.hashSeq(R_T4, R_T1, R_MASK2, 3);
+    b.andi(R_T4, R_T4, int64_t(n - 1));
+    b.ld(R_T2, R_B, R_T4, 8);       // y = B[mix(x)] (indirect 1)
+    b.hashSeq(R_T4, R_T2, R_MASK2, 5);
+    b.andi(R_T4, R_T4, int64_t(n - 1));
+    b.ld(R_T3, R_C, R_T4, 8);       // z = C[mix(y)] (indirect 2)
+    b.muli(R_T4, R_T3, 31);
+    b.add(R_SUM, R_SUM, R_T4);
+    b.addi(R_I, R_I, 1);
+    b.cmpltu(R_CND, R_I, R_N);
+    b.br(R_CND, top);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_A] = a_base;
+    w.init.regs[R_B] = b_base;
+    w.init.regs[R_C] = c_base;
+    w.init.regs[R_N] = n;
+    return w;
+}
+
+Workload
+makeNasCg(const HpcDbScale &scale)
+{
+    // NAS-CG inner kernel: CSR sparse matrix-vector product with an
+    // indirect gather of the dense vector.
+    Workload w;
+    w.name = "nas-cg";
+    Layout lay;
+    Rng rng(scale.seed ^ 0xc6);
+
+    const uint64_t rows = std::max<uint64_t>(4096, scale.elements * 2);
+    const uint64_t avg_nnz = 12;
+    std::vector<uint64_t> offsets(rows + 1, 0);
+    for (uint64_t r = 0; r < rows; r++)
+        offsets[r + 1] = offsets[r] + 4 + rng.below(2 * avg_nnz - 8);
+    const uint64_t nnz = offsets[rows];
+    std::vector<uint64_t> cols(nnz);
+    std::vector<double> vals(nnz), x(rows);
+    for (uint64_t i = 0; i < nnz; i++) {
+        cols[i] = rng.below(rows);
+        vals[i] = rng.uniform();
+    }
+    for (uint64_t r = 0; r < rows; r++)
+        x[r] = rng.uniform();
+
+    uint64_t off_base = lay.put64(w.image, offsets);
+    uint64_t col_base = lay.put64(w.image, cols);
+    uint64_t val_base = lay.putF64(w.image, vals);
+    uint64_t x_base = lay.putF64(w.image, x);
+    uint64_t y_base = lay.alloc(rows * 8);
+
+    constexpr uint8_t R_OFF = 1, R_COL = 2, R_VAL = 3, R_X = 14,
+                      R_Y = 15, R_ROW = 4, R_J = 8, R_END = 9;
+
+    ProgramBuilder b(w.name);
+    auto exit_l = b.makeLabel();
+    auto row_done = b.makeLabel();
+    auto outer_top = b.here();
+    b.cmpltu(R_CND, R_ROW, R_N);
+    b.brz(R_CND, exit_l);
+    b.ld(R_J, R_OFF, R_ROW, 8);
+    b.ld(R_END, R_OFF, R_ROW, 8, 8);
+    b.movi(R_SUM, 0);
+    b.cmpltu(R_CND, R_J, R_END);
+    b.brz(R_CND, row_done);
+    auto inner_top = b.here();
+    b.ld(R_T1, R_COL, R_J, 8);      // col = cols[j]   (stride)
+    b.ld(R_T2, R_VAL, R_J, 8);      // val = vals[j]   (stride)
+    b.ld(R_T3, R_X, R_T1, 8);       // x[col]          (indirect)
+    b.fmul(R_T3, R_T3, R_T2);
+    b.fadd(R_SUM, R_SUM, R_T3);
+    b.addi(R_J, R_J, 1);
+    b.cmpltu(R_CND, R_J, R_END);
+    b.br(R_CND, inner_top);
+    b.bind(row_done);
+    b.st(R_SUM, R_Y, R_ROW, 8);
+    b.addi(R_ROW, R_ROW, 1);
+    b.jmp(outer_top);
+    b.bind(exit_l);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_OFF] = off_base;
+    w.init.regs[R_COL] = col_base;
+    w.init.regs[R_VAL] = val_base;
+    w.init.regs[R_X] = x_base;
+    w.init.regs[R_Y] = y_base;
+    w.init.regs[R_N] = rows;
+    return w;
+}
+
+Workload
+makeNasIs(const HpcDbScale &scale)
+{
+    // NAS-IS key kernel: bucket counting, a single-level indirect
+    // read-modify-write.
+    Workload w;
+    w.name = "nas-is";
+    Layout lay;
+    Rng rng(scale.seed ^ 0x15);
+    const uint64_t n = scale.elements;
+    const uint64_t nbuckets = n / 2;
+
+    std::vector<uint64_t> keys(n);
+    for (auto &k : keys)
+        k = rng.below(nbuckets);
+    uint64_t keys_base = lay.put64(w.image, keys);
+    uint64_t count_base = lay.alloc(nbuckets * 8);
+
+    // NAS IS ranks keys into buckets; the key-to-bucket mapping does
+    // a few shifts/adds per key (range scaling), reflected here.
+    ProgramBuilder b(w.name);
+    auto top = b.here();
+    b.ld(R_T1, R_A, R_I, 8);        // key = keys[i]   (stride)
+    b.shli(R_T3, R_T1, 1);
+    b.add(R_T3, R_T3, R_T1);
+    b.shri(R_T3, R_T3, 2);
+    b.andi(R_T1, R_T1, int64_t(nbuckets - 1));
+    b.ld(R_T2, R_B, R_T1, 8);       // count[key]      (indirect)
+    b.addi(R_T2, R_T2, 1);
+    b.add(R_SUM, R_SUM, R_T3);
+    b.st(R_T2, R_B, R_T1, 8);
+    b.addi(R_I, R_I, 1);
+    b.cmpltu(R_CND, R_I, R_N);
+    b.br(R_CND, top);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_A] = keys_base;
+    w.init.regs[R_B] = count_base;
+    w.init.regs[R_N] = n;
+    return w;
+}
+
+Workload
+makeRandomAccess(const HpcDbScale &scale)
+{
+    // HPCC RandomAccess (GUPS): xor-update the table at pseudo-random
+    // indices taken from a precomputed stream.
+    Workload w;
+    w.name = "randomaccess";
+    Layout lay;
+    Rng rng(scale.seed ^ 0x6a);
+    const uint64_t n = scale.elements;
+    const uint64_t tsize = n;   // table entries (power of two below)
+    uint64_t tmask = 1;
+    while (tmask * 2 <= tsize)
+        tmask *= 2;
+
+    std::vector<uint64_t> ran(n);
+    for (auto &r : ran)
+        r = rng.next();
+    uint64_t ran_base = lay.put64(w.image, ran);
+    uint64_t table_base = lay.alloc(tmask * 8);
+
+    // GUPS recomputes the LCG step alongside each update; the shift/
+    // xor/select sequence is kept so µop density matches real GUPS.
+    ProgramBuilder b(w.name);
+    auto top = b.here();
+    b.ld(R_T1, R_A, R_I, 8);        // r = ran[i]      (stride)
+    b.shli(R_T4, R_T1, 1);
+    b.shri(R_MASK2, R_T1, 63);
+    b.muli(R_MASK2, R_MASK2, 7);
+    b.xor_(R_T4, R_T4, R_MASK2);
+    b.andi(R_T2, R_T1, int64_t(tmask - 1));
+    b.ld(R_T3, R_B, R_T2, 8);       // T[idx]          (indirect)
+    b.xor_(R_T3, R_T3, R_T1);
+    b.st(R_T3, R_B, R_T2, 8);
+    b.add(R_SUM, R_SUM, R_T4);
+    b.addi(R_I, R_I, 1);
+    b.cmpltu(R_CND, R_I, R_N);
+    b.br(R_CND, top);
+    b.halt();
+    w.prog = b.build();
+
+    w.init.regs[R_A] = ran_base;
+    w.init.regs[R_B] = table_base;
+    w.init.regs[R_N] = n;
+    return w;
+}
+
+} // namespace vrsim

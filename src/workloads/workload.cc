@@ -1,0 +1,86 @@
+#include "workloads/workload.hh"
+
+#include "workloads/graph_io.hh"
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+const std::vector<std::string> &
+gapKernelNames()
+{
+    static const std::vector<std::string> names =
+        {"bc", "bfs", "cc", "pr", "sssp"};
+    return names;
+}
+
+const std::vector<std::string> &
+hpcDbNames()
+{
+    static const std::vector<std::string> names =
+        {"camel", "graph500", "hj2", "hj8", "kangaroo", "nas-cg",
+         "nas-is", "randomaccess"};
+    return names;
+}
+
+namespace
+{
+
+GraphInput
+parseInput(const std::string &s)
+{
+    if (s == "KR") return GraphInput::Kron;
+    if (s == "LJN") return GraphInput::Ljn;
+    if (s == "ORK") return GraphInput::Ork;
+    if (s == "TW") return GraphInput::Tw;
+    if (s == "UR") return GraphInput::Ur;
+    fatal("unknown graph input: " + s);
+}
+
+} // namespace
+
+Workload
+makeWorkload(const std::string &spec, const GraphScale &gscale,
+             const HpcDbScale &hscale)
+{
+    auto slash = spec.find('/');
+    if (slash != std::string::npos) {
+        std::string kernel = spec.substr(0, slash);
+        std::string rest = spec.substr(slash + 1);
+        if (rest.rfind("file:", 0) == 0) {
+            // "bfs/file:/path/to/graph.el": run on a real graph.
+            Graph g = loadGraph(rest.substr(5));
+            if (kernel == "bfs")
+                return makeBfsFromGraph(g, spec, gscale.seed);
+            if (kernel == "pr")
+                return makePrFromGraph(g, spec, gscale.seed);
+            if (kernel == "cc")
+                return makeCcFromGraph(g, spec, gscale.seed);
+            if (kernel == "sssp")
+                return makeSsspFromGraph(g, spec, gscale.seed);
+            if (kernel == "bc")
+                return makeBcFromGraph(g, spec, gscale.seed);
+            fatal("unknown GAP kernel: " + kernel);
+        }
+        GraphInput input = parseInput(rest);
+        if (kernel == "bfs") return makeBfs(input, gscale);
+        if (kernel == "pr") return makePr(input, gscale);
+        if (kernel == "cc") return makeCc(input, gscale);
+        if (kernel == "sssp") return makeSssp(input, gscale);
+        if (kernel == "bc") return makeBc(input, gscale);
+        fatal("unknown GAP kernel: " + kernel);
+    }
+    if (spec == "camel") return makeCamel(hscale);
+    if (spec == "camel-swpf") return makeCamelSwPf(hscale);
+    if (spec == "graph500") return makeGraph500(hscale);
+    if (spec == "hj2") return makeHashJoin(2, hscale);
+    if (spec == "hj8") return makeHashJoin(8, hscale);
+    if (spec == "kangaroo") return makeKangaroo(hscale);
+    if (spec == "nas-cg") return makeNasCg(hscale);
+    if (spec == "nas-is") return makeNasIs(hscale);
+    if (spec == "randomaccess") return makeRandomAccess(hscale);
+    fatal("unknown workload: " + spec);
+}
+
+} // namespace vrsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the report writers: stat flattening, CSV shape, and the
+ * human-readable report's content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/report.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+SimResult
+sampleResult(Technique t)
+{
+    GraphScale g;
+    g.nodes = 1 << 11;
+    g.avg_degree = 8;
+    HpcDbScale h;
+    h.elements = 1 << 12;
+    return runSimulation("camel", t, SystemConfig::benchScale(), g, h,
+                         10000);
+}
+
+TEST(ReportTest, StatGroupHasCoreAndMemKeys)
+{
+    StatGroup g = toStatGroup(sampleResult(Technique::OoO));
+    for (const char *k :
+         {"core.instructions", "core.cycles", "core.ipc", "core.loads",
+          "mem.demand_accesses", "mem.dram_total", "mem.mlp",
+          "core.stall_fetch", "cpi.base", "cpi.total"})
+        EXPECT_TRUE(g.has(k)) << k;
+    EXPECT_GT(g.value("core.ipc"), 0.0);
+    EXPECT_FALSE(g.has("dvr.spawns"));
+}
+
+TEST(ReportTest, StatGroupIncludesEngineSections)
+{
+    StatGroup d = toStatGroup(sampleResult(Technique::Dvr));
+    EXPECT_TRUE(d.has("dvr.spawns"));
+    EXPECT_TRUE(d.has("dvr.mean_lanes"));
+    StatGroup v = toStatGroup(sampleResult(Technique::Vr));
+    EXPECT_TRUE(v.has("vr.triggers"));
+    StatGroup p = toStatGroup(sampleResult(Technique::Pre));
+    EXPECT_TRUE(p.has("pre.intervals"));
+}
+
+TEST(ReportTest, CsvHasHeaderAndMatchingColumns)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row(sampleResult(Technique::OoO));
+    w.row(sampleResult(Technique::OoO));
+    std::istringstream in(os.str());
+    std::string header, row1, row2;
+    std::getline(in, header);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row1));
+    EXPECT_EQ(commas(row1), commas(row2));
+    EXPECT_NE(header.find("workload,technique"), std::string::npos);
+    EXPECT_NE(header.find("core.ipc"), std::string::npos);
+    EXPECT_NE(row1.find("camel,OoO"), std::string::npos);
+}
+
+TEST(ReportTest, CsvColumnsStableAcrossTechniques)
+{
+    // The header is fixed by the first row; later rows with more
+    // stats must not add columns (missing keys become 0).
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row(sampleResult(Technique::OoO));
+    w.row(sampleResult(Technique::Dvr));
+    std::istringstream in(os.str());
+    std::string header, row1, row2;
+    std::getline(in, header);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row2));
+}
+
+TEST(ReportTest, HumanReportMentionsKeySections)
+{
+    std::ostringstream os;
+    printReport(os, sampleResult(Technique::Dvr),
+                SystemConfig::benchScale());
+    for (const char *k : {"performance", "dispatch stalls", "memory",
+                          "Decoupled Vector Runahead", "IPC",
+                          "MLP", "technique       DVR"})
+        EXPECT_NE(os.str().find(k), std::string::npos) << k;
+}
+
+} // namespace
+} // namespace vrsim

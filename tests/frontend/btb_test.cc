@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for the branch target buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/btb.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(BtbTest, MissThenHitAfterInstall)
+{
+    Btb btb(64);
+    EXPECT_FALSE(btb.hit(0x100));
+    btb.install(0x100, 0x40);
+    EXPECT_TRUE(btb.hit(0x100));
+    EXPECT_EQ(btb.installs(), 1u);
+}
+
+TEST(BtbTest, CapacityRoundsToPowerOfTwo)
+{
+    Btb btb(100);
+    EXPECT_EQ(btb.capacity(), 64u);
+}
+
+TEST(BtbTest, AliasingEvicts)
+{
+    Btb btb(64);
+    btb.install(0x10, 1);
+    btb.install(0x10 + 64, 2);   // same index, different tag
+    EXPECT_FALSE(btb.hit(0x10));
+    EXPECT_TRUE(btb.hit(0x10 + 64));
+}
+
+TEST(BtbTest, DistinctIndicesCoexist)
+{
+    Btb btb(64);
+    for (uint64_t pc = 0; pc < 64; pc++)
+        btb.install(pc, pc * 2);
+    for (uint64_t pc = 0; pc < 64; pc++)
+        EXPECT_TRUE(btb.hit(pc)) << pc;
+}
+
+} // namespace
+} // namespace vrsim

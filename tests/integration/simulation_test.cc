@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Integration tests of the Simulation facade: every technique runs
+ * every benchmark family end to end, produces sane statistics, and
+ * is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/simulation.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+GraphScale
+tinyGraph()
+{
+    GraphScale s;
+    s.nodes = 1 << 11;
+    s.avg_degree = 8;
+    return s;
+}
+
+HpcDbScale
+tinyHpc()
+{
+    HpcDbScale s;
+    s.elements = 1 << 12;
+    return s;
+}
+
+TEST(SimulationTest, EveryTechniqueRunsEveryFamily)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    for (const char *spec : {"bfs/KR", "camel", "hj2", "nas-cg"}) {
+        for (Technique t : {Technique::OoO, Technique::Pre,
+                            Technique::Imp, Technique::Vr,
+                            Technique::DvrOffload,
+                            Technique::DvrDiscovery, Technique::Dvr,
+                            Technique::Oracle}) {
+            SimResult r = runSimulation(spec, t, cfg, tinyGraph(),
+                                        tinyHpc(), 15000);
+            EXPECT_EQ(r.workload, spec);
+            EXPECT_GT(r.core.instructions, 1000u)
+                << spec << " " << techniqueName(t);
+            EXPECT_GT(r.core.cycles, 0u);
+            EXPECT_GT(r.ipc(), 0.0);
+            EXPECT_LE(r.ipc(), 5.0);
+        }
+    }
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    SimResult a = runSimulation("kangaroo", Technique::Dvr, cfg,
+                                tinyGraph(), tinyHpc(), 20000);
+    SimResult b = runSimulation("kangaroo", Technique::Dvr, cfg,
+                                tinyGraph(), tinyHpc(), 20000);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.mem.dramTotal(), b.mem.dramTotal());
+    EXPECT_EQ(a.dvr->prefetches, b.dvr->prefetches);
+}
+
+TEST(SimulationTest, EngineStatsAttachToRightTechnique)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    SimResult o = runSimulation("camel", Technique::OoO, cfg,
+                                tinyGraph(), tinyHpc(), 10000);
+    EXPECT_FALSE(o.pre || o.vr || o.dvr);
+    SimResult p = runSimulation("camel", Technique::Pre, cfg,
+                                tinyGraph(), tinyHpc(), 10000);
+    EXPECT_TRUE(p.pre.has_value());
+    SimResult v = runSimulation("camel", Technique::Vr, cfg,
+                                tinyGraph(), tinyHpc(), 10000);
+    EXPECT_TRUE(v.vr.has_value());
+    SimResult d = runSimulation("camel", Technique::Dvr, cfg,
+                                tinyGraph(), tinyHpc(), 10000);
+    EXPECT_TRUE(d.dvr.has_value());
+}
+
+TEST(SimulationTest, DramSplitsSumToTotal)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    SimResult r = runSimulation("camel", Technique::Dvr, cfg,
+                                tinyGraph(), tinyHpc(), 20000);
+    EXPECT_EQ(r.dramMain() + r.dramRunahead(), r.mem.dramTotal());
+}
+
+TEST(SimulationTest, SpecListsCoverPaperSuite)
+{
+    auto specs = allBenchmarkSpecs();
+    EXPECT_EQ(specs.size(), 5u * 5u + 8u);   // 5 kernels x 5 inputs + 8
+    EXPECT_EQ(gapBenchmarkSpecs().size(), 25u);
+}
+
+TEST(SimulationTest, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(SimulationTest, MlpWithinMshrCapacity)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    SimResult r = runSimulation("camel", Technique::Dvr, cfg,
+                                tinyGraph(), tinyHpc(), 20000);
+    EXPECT_GE(r.mlp, 0.0);
+    EXPECT_LE(r.mlp, double(cfg.l1d.mshrs) + 0.5);
+}
+
+TEST(SimulationTest, TimelinessCountsConsistent)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    SimResult r = runSimulation("kangaroo", Technique::Dvr, cfg,
+                                tinyGraph(), tinyHpc(), 30000);
+    const MemStats &m = r.mem;
+    EXPECT_LE(m.pf_used_l1 + m.pf_used_l2 + m.pf_used_l3 +
+                  m.pf_used_inflight,
+              m.pf_lines_filled + 16 /* L2/L3-origin copies */);
+}
+
+} // namespace
+} // namespace vrsim

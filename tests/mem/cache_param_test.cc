@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parameterized property tests for the cache array and MSHR bank over
+ * geometry sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+/** (size_bytes, assoc) sweep. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+  protected:
+    CacheConfig
+    cfg() const
+    {
+        auto [size, assoc] = GetParam();
+        CacheConfig c;
+        c.size_bytes = size;
+        c.assoc = assoc;
+        c.line_bytes = 64;
+        return c;
+    }
+};
+
+TEST_P(CacheGeometry, CapacityHoldsWithoutEviction)
+{
+    CacheConfig c = cfg();
+    CacheArray cache("t", c);
+    const uint32_t lines = c.size_bytes / c.line_bytes;
+    // One line per set slot, touching each set `assoc` times.
+    uint64_t evictions = 0;
+    for (uint32_t i = 0; i < lines; i++)
+        if (cache.insert(i, i, i, Requester::Demand))
+            ++evictions;
+    EXPECT_EQ(evictions, 0u);
+    // Everything must still be resident.
+    for (uint32_t i = 0; i < lines; i++)
+        EXPECT_NE(cache.peek(i), nullptr) << i;
+}
+
+TEST_P(CacheGeometry, OverCapacityEvictsExactlyOverflow)
+{
+    CacheConfig c = cfg();
+    CacheArray cache("t", c);
+    const uint32_t lines = c.size_bytes / c.line_bytes;
+    uint64_t evictions = 0;
+    for (uint32_t i = 0; i < 2 * lines; i++)
+        if (cache.insert(i, i, i, Requester::Demand))
+            ++evictions;
+    EXPECT_EQ(evictions, lines);
+}
+
+TEST_P(CacheGeometry, LookupAfterRandomChurnIsConsistent)
+{
+    CacheConfig c = cfg();
+    CacheArray cache("t", c);
+    Rng rng(7);
+    // Model: a map of the most recent `assoc` inserts per set must
+    // all be present (LRU can only evict older ones).
+    const uint32_t sets = cache.numSets();
+    std::vector<std::vector<uint64_t>> recent(sets);
+    for (int i = 0; i < 10000; i++) {
+        uint64_t line = rng.below(16 * sets);
+        cache.insert(line, Cycle(i), Cycle(i), Requester::Demand);
+        auto &r = recent[line % sets];
+        auto it = std::find(r.begin(), r.end(), line);
+        if (it != r.end())
+            r.erase(it);
+        r.push_back(line);
+        if (r.size() > c.assoc)
+            r.erase(r.begin());
+    }
+    for (uint32_t s = 0; s < sets; s++)
+        for (uint64_t line : recent[s])
+            EXPECT_NE(cache.peek(line), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(4u * 1024, 32u * 1024,
+                                         256u * 1024),
+                       ::testing::Values(1u, 2u, 8u, 16u)),
+    [](const auto &info) {
+        return std::to_string(std::get<0>(info.param) / 1024) + "KB_" +
+               std::to_string(std::get<1>(info.param)) + "way";
+    });
+
+/** MSHR-bank capacity sweep: sustained throughput is bounded. */
+class MshrCapacity : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(MshrCapacity, ThroughputBoundedByCapacityOverLatency)
+{
+    const uint32_t entries = GetParam();
+    MshrBank bank(entries);
+    const Cycle latency = 240;
+    const int n = 500;
+    Cycle fill = 0, last_issue = 0;
+    for (int i = 0; i < n; i++)
+        last_issue = bank.allocate(0, latency, fill);
+    // n misses from time 0: finish no earlier than the bandwidth
+    // bound (n / entries generations of `latency` cycles)...
+    double generations = double(n) / double(entries);
+    EXPECT_GE(double(last_issue) + 1.0, (generations - 1.5) * latency);
+    // ...and the bank must not be pathologically slower than 2x it.
+    EXPECT_LE(double(last_issue), (generations + 2.0) * latency * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MshrCapacity,
+                         ::testing::Values(1u, 8u, 24u, 64u));
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the DRAM latency/bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(DramTest, UncontendedLatency)
+{
+    DramConfig cfg;   // 200 cycles, 12.8 B/c
+    DramModel dram(cfg, 64);
+    EXPECT_EQ(dram.access(1000), 1200u);
+    EXPECT_EQ(dram.accesses(), 1u);
+    EXPECT_EQ(dram.queueDelay(), 0u);
+}
+
+TEST(DramTest, ServiceCyclesFromBandwidth)
+{
+    DramConfig cfg;
+    cfg.bytes_per_cycle = 12.8;
+    DramModel dram(cfg, 64);
+    EXPECT_EQ(dram.serviceCycles(), 5u);   // 64 / 12.8
+}
+
+TEST(DramTest, BackToBackRequestsSerialize)
+{
+    DramConfig cfg;
+    DramModel dram(cfg, 64);
+    Cycle a = dram.access(0);
+    Cycle b = dram.access(0);
+    Cycle c = dram.access(0);
+    EXPECT_EQ(a, 200u);
+    EXPECT_EQ(b, 205u);   // queued one service slot
+    EXPECT_EQ(c, 210u);
+    EXPECT_EQ(dram.queueDelay(), 5u + 10u);
+}
+
+TEST(DramTest, SustainedBandwidthMatchesConfig)
+{
+    DramConfig cfg;
+    DramModel dram(cfg, 64);
+    Cycle last = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; i++)
+        last = dram.access(0);
+    // n lines at 5 cycles each.
+    EXPECT_NEAR(double(last - 200), 5.0 * (n - 1), 50.0);
+}
+
+TEST(DramTest, NonChronologicalRequestsDoNotBlockEarlierOnes)
+{
+    DramConfig cfg;
+    DramModel dram(cfg, 64);
+    dram.access(1000000);
+    EXPECT_EQ(dram.access(100), 300u);
+}
+
+TEST(DramTest, SpreadRequestsSeeNoQueueing)
+{
+    DramConfig cfg;
+    DramModel dram(cfg, 64);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(dram.access(Cycle(i) * 10), Cycle(i) * 10 + 200);
+}
+
+TEST(DramTest, ResetClearsChannel)
+{
+    DramConfig cfg;
+    DramModel dram(cfg, 64);
+    dram.access(0);
+    dram.access(0);
+    dram.reset();
+    EXPECT_EQ(dram.access(0), 200u);
+    EXPECT_EQ(dram.accesses(), 1u);
+}
+
+TEST(DramTest, ChannelsPreserveAggregateBandwidth)
+{
+    DramConfig one;
+    DramConfig four = one;
+    four.channels = 4;
+    DramModel d1(one, 64), d4(four, 64);
+    Cycle last1 = 0, last4 = 0;
+    for (int i = 0; i < 400; i++) {
+        last1 = d1.access(0);
+        last4 = d4.access(0);
+    }
+    // Same total bandwidth: finishing times within ~10%.
+    EXPECT_NEAR(double(last4), double(last1), 0.1 * double(last1));
+}
+
+TEST(DramTest, ChannelsReduceSmallBurstQueueing)
+{
+    DramConfig one;
+    DramConfig four = one;
+    four.channels = 4;
+    DramModel d1(one, 64), d4(four, 64);
+    // A 4-line burst: with 4 channels they all start immediately.
+    Cycle worst1 = 0, worst4 = 0;
+    for (int i = 0; i < 4; i++) {
+        worst1 = std::max(worst1, d1.access(0));
+        worst4 = std::max(worst4, d4.access(0));
+    }
+    EXPECT_LT(worst4, worst1);
+}
+
+} // namespace
+} // namespace vrsim

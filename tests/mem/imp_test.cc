@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Indirect Memory Prefetcher baseline: pattern
+ * detection for B[A[i]]-style accesses and prefetch generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "mem/imp.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+class ImpTest : public ::testing::Test
+{
+  protected:
+    ImpTest() : cfg(makeCfg()), hier(cfg, image)
+    {
+        hier.enableImp();
+    }
+
+    static SystemConfig
+    makeCfg()
+    {
+        SystemConfig c = SystemConfig::paper();
+        c.stride_pf.enabled = false;
+        return c;
+    }
+
+    MemoryImage image;
+    SystemConfig cfg;
+    MemoryHierarchy hier;
+};
+
+TEST_F(ImpTest, DetectsSimpleIndirectPattern)
+{
+    // idx[i] at stride 8; data[idx[i]] with coeff 8 from base.
+    const uint64_t idx_base = 0x10000;
+    const uint64_t data_base = 0x800000;
+    for (uint64_t i = 0; i < 64; i++)
+        image.write64(idx_base + i * 8, (i * 37) % 512);
+
+    Cycle t = 0;
+    uint64_t late_indirect_misses = 0;
+    for (uint64_t i = 0; i < 64; i++) {
+        uint64_t v = image.read64(idx_base + i * 8);
+        hier.access(idx_base + i * 8, 0x1, t, false,
+                    Requester::Demand);
+        AccessResult r = hier.access(data_base + v * 8, 0x2, t + 10,
+                                     false, Requester::Demand);
+        if (i > 40 && r.level == HitLevel::Memory)
+            ++late_indirect_misses;
+        t += 600;
+    }
+    // After warmup, indirect targets should be prefetched.
+    EXPECT_LT(late_indirect_misses, 6u);
+    EXPECT_GT(hier.stats().dram_by_requester[size_t(Requester::Imp)],
+              0u);
+}
+
+TEST_F(ImpTest, NoPatternForUncorrelatedLoads)
+{
+    const uint64_t idx_base = 0x10000;
+    for (uint64_t i = 0; i < 32; i++)
+        image.write64(idx_base + i * 8, i * 1000);
+
+    Cycle t = 0;
+    for (uint64_t i = 0; i < 32; i++) {
+        hier.access(idx_base + i * 8, 0x1, t, false,
+                    Requester::Demand);
+        // Unrelated address, not a function of the loaded value.
+        hier.access(0x900000 + ((i * 7919) % 64) * 4096, 0x2, t + 10,
+                    false, Requester::Demand);
+        t += 600;
+    }
+    // IMP may try candidates but should issue few/no prefetches with
+    // a stable verified pattern.
+    EXPECT_LT(hier.stats().dram_by_requester[size_t(Requester::Imp)],
+              8u);
+}
+
+TEST(ImpUnitTest, PatternTableDirect)
+{
+    MemoryImage image;
+    SystemConfig cfg = SystemConfig::paper();
+    MemoryHierarchy hier(cfg, image);
+    ImpConfig icfg;
+    ImpPrefetcher imp(icfg, hier, image);
+
+    const uint64_t base = 0x40000;
+    // Feed a perfect stride stream with values, and matching
+    // indirect accesses at base + value * 8.
+    for (uint64_t i = 0; i < 16; i++) {
+        uint64_t value = 100 + i * 3;
+        imp.observe(0xA, 0x1000 + i * 8, value, 8, i * 100);
+        imp.observe(0xB, base + value * 8, 0, 8, i * 100 + 10);
+    }
+    EXPECT_GE(imp.patterns(), 1u);
+    EXPECT_GT(imp.prefetchesIssued(), 0u);
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the Reference Prediction Table (stride detector).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/stride_rpt.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(StrideRptTest, DetectsConstantStride)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    for (int i = 0; i < 4; i++)
+        rpt.train(0x10, 0x1000 + i * 8);
+    const RptEntry *e = rpt.predict(0x10);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->stride, 8);
+    EXPECT_TRUE(rpt.isStriding(0x10));
+}
+
+TEST(StrideRptTest, NeedsConfidenceBeforePredicting)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    rpt.train(0x10, 0x1000);
+    rpt.train(0x10, 0x1008);   // first stride observation: conf 0->?
+    EXPECT_EQ(rpt.predict(0x10), nullptr);
+    rpt.train(0x10, 0x1010);
+    rpt.train(0x10, 0x1018);
+    EXPECT_NE(rpt.predict(0x10), nullptr);
+}
+
+TEST(StrideRptTest, RandomAddressesNeverPredict)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    uint64_t addrs[] = {0x9231, 0x11, 0x772210, 0x40, 0x99999};
+    for (uint64_t a : addrs)
+        rpt.train(0x20, a);
+    EXPECT_EQ(rpt.predict(0x20), nullptr);
+}
+
+TEST(StrideRptTest, StrideChangeDropsConfidence)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    for (int i = 0; i < 5; i++)
+        rpt.train(0x30, 0x1000 + i * 8);
+    ASSERT_NE(rpt.predict(0x30), nullptr);
+    rpt.train(0x30, 0x5000);       // break the pattern
+    rpt.train(0x30, 0x9000);
+    EXPECT_EQ(rpt.predict(0x30), nullptr);
+}
+
+TEST(StrideRptTest, NegativeStridesSupported)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    for (int i = 0; i < 4; i++)
+        rpt.train(0x40, 0x9000 - i * 16);
+    const RptEntry *e = rpt.predict(0x40);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->stride, -16);
+}
+
+TEST(StrideRptTest, ZeroStrideNeverPredicts)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    for (int i = 0; i < 6; i++)
+        rpt.train(0x50, 0x2000);
+    EXPECT_EQ(rpt.predict(0x50), nullptr);
+}
+
+TEST(StrideRptTest, LruEvictionUnderCapacity)
+{
+    StrideRpt rpt(2, 2);
+    rpt.reset();
+    for (int i = 0; i < 4; i++) {
+        rpt.train(0x1, 0x100 + i * 8);
+        rpt.train(0x2, 0x200 + i * 8);
+    }
+    ASSERT_NE(rpt.predict(0x1), nullptr);
+    // A third PC evicts the LRU entry (0x1, trained longest ago).
+    rpt.train(0x3, 0x300);
+    EXPECT_EQ(rpt.find(0x1), nullptr);
+    EXPECT_NE(rpt.find(0x2), nullptr);
+    EXPECT_NE(rpt.find(0x3), nullptr);
+}
+
+TEST(StrideRptTest, InnermostBitPersists)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    for (int i = 0; i < 4; i++)
+        rpt.train(0x60, 0x100 + i * 8);
+    rpt.find(0x60)->innermost = true;
+    rpt.train(0x60, 0x100 + 4 * 8);
+    EXPECT_TRUE(rpt.find(0x60)->innermost);
+}
+
+TEST(StrideRptTest, MultipleStreamsTrackedIndependently)
+{
+    StrideRpt rpt(8, 2);
+    rpt.reset();
+    for (int i = 0; i < 5; i++) {
+        rpt.train(0x70, 0x1000 + i * 8);
+        rpt.train(0x71, 0x8000 + i * 64);
+    }
+    EXPECT_EQ(rpt.predict(0x70)->stride, 8);
+    EXPECT_EQ(rpt.predict(0x71)->stride, 64);
+}
+
+} // namespace
+} // namespace vrsim

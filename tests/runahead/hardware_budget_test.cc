@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests that the §4.4 hardware-budget accounting reproduces the
+ * paper's 1139-byte total with the paper's parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runahead/hardware_budget.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(HardwareBudgetTest, PaperTotalIs1139Bytes)
+{
+    RunaheadConfig cfg;   // paper defaults
+    HardwareBudget b = computeHardwareBudget(cfg, 16);
+    EXPECT_EQ(b.total(), 1139u);
+}
+
+TEST(HardwareBudgetTest, PerStructureFigures)
+{
+    RunaheadConfig cfg;
+    HardwareBudget b = computeHardwareBudget(cfg, 16);
+    EXPECT_EQ(b.stride_detector_bytes, 460u);
+    EXPECT_EQ(b.vrat_bytes, 288u);
+    EXPECT_EQ(b.vir_bytes, 86u);
+    EXPECT_EQ(b.frontend_buffer_bytes, 64u);
+    EXPECT_EQ(b.reconv_stack_bytes, 176u);
+    EXPECT_EQ(b.flr_bytes, 6u);
+    EXPECT_EQ(b.lcr_bytes, 2u);
+    EXPECT_EQ(b.loop_bound_bytes, 48u);
+    EXPECT_EQ(b.taint_bytes, 2u);
+    EXPECT_EQ(b.ndm_bytes, 7u);
+}
+
+TEST(HardwareBudgetTest, ScalesWithVectorWidth)
+{
+    RunaheadConfig wide;
+    wide.vector_regs = 32;   // 256 scalar-equivalent lanes
+    HardwareBudget b = computeHardwareBudget(wide, 16);
+    RunaheadConfig base;
+    HardwareBudget b0 = computeHardwareBudget(base, 16);
+    EXPECT_GT(b.vrat_bytes, b0.vrat_bytes);
+    EXPECT_GT(b.vir_bytes, b0.vir_bytes);
+}
+
+TEST(HardwareBudgetTest, ScalesWithStrideEntries)
+{
+    RunaheadConfig cfg;
+    cfg.stride_entries = 64;
+    HardwareBudget b = computeHardwareBudget(cfg, 16);
+    EXPECT_EQ(b.stride_detector_bytes, 920u);
+}
+
+TEST(HardwareBudgetTest, PrintMentionsEveryStructure)
+{
+    std::ostringstream os;
+    printHardwareBudget(os, computeHardwareBudget(RunaheadConfig{}));
+    for (const char *k : {"stride", "VRAT", "VIR", "reconv", "FLR",
+                          "LCR", "taint", "NDM", "total"})
+        EXPECT_NE(os.str().find(k), std::string::npos) << k;
+    EXPECT_NE(os.str().find("1139"), std::string::npos);
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the SIMT lane executor: lockstep execution, per-lane
+ * dependent timing, divergence under both VR (invalidate) and DVR
+ * (reconverge) policies, and termination rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "mem/hierarchy.hh"
+#include "runahead/lane_executor.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+class LaneExecTest : public ::testing::Test
+{
+  protected:
+    LaneExecTest() : cfg(makeCfg()), hier(cfg, image) {}
+
+    static SystemConfig
+    makeCfg()
+    {
+        SystemConfig c = SystemConfig::paper();
+        c.stride_pf.enabled = false;
+        return c;
+    }
+
+    SystemConfig cfg;
+    MemoryImage image;
+    MemoryHierarchy hier;
+
+    std::vector<Lane>
+    makeLanes(unsigned n, uint32_t pc,
+              std::function<void(unsigned, CpuState &)> seed)
+    {
+        std::vector<Lane> lanes(n);
+        for (unsigned j = 0; j < n; j++) {
+            lanes[j].ctx.pc = pc;
+            seed(j, lanes[j].ctx);
+        }
+        return lanes;
+    }
+};
+
+TEST_F(LaneExecTest, StraightLineChainIssuesPerLanePrefetches)
+{
+    // r2 = mem[r1]; r3 = mem[r4 + r2*8]; then back to "stride pc" 0.
+    Program p = [&] {
+        ProgramBuilder bb("chain");
+        auto stride = bb.here();
+        bb.nop();
+        bb.ld(2, 1);
+        bb.ld(3, 4, 2, 8);
+        bb.jmp(stride);
+        return bb.build();
+    }();
+
+    for (unsigned j = 0; j < 8; j++)
+        image.write64(0x1000 + j * 0x100, j * 3);
+
+    auto lanes = makeLanes(8, 1, [&](unsigned j, CpuState &ctx) {
+        ctx.regs[1] = 0x1000 + j * 0x100;
+        ctx.regs[4] = 0x800000;
+    });
+
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    LaneRunStats st = ex.run(lanes, /*stride_pc=*/0, /*flr=*/0,
+                             false, true, 10);
+    // Two loads per lane.
+    EXPECT_EQ(st.prefetches, 16u);
+    EXPECT_EQ(st.divergences, 0u);
+    for (auto &l : lanes)
+        EXPECT_TRUE(l.done);
+    EXPECT_GT(st.end_time, 10u);
+}
+
+TEST_F(LaneExecTest, DependentLoadWaitsForLaneFill)
+{
+    ProgramBuilder bb("dep");
+    auto stride = bb.here();
+    bb.nop();
+    bb.ld(2, 1);                   // miss: ~242 cycles
+    bb.ld(3, 4, 2, 8);             // must issue after the fill
+    bb.jmp(stride);
+    Program p = bb.build();
+
+    auto lanes = makeLanes(1, 1, [&](unsigned, CpuState &ctx) {
+        ctx.regs[1] = 0x50000;
+        ctx.regs[4] = 0x900000;
+    });
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    LaneRunStats st = ex.run(lanes, 0, 0, false, true, 0);
+    // end_time covers the dependent access issued after ~242 cycles.
+    EXPECT_GT(st.end_time, 242u);
+}
+
+TEST_F(LaneExecTest, VrModeInvalidatesDivergentLanes)
+{
+    // Branch on a per-lane value: half the lanes diverge.
+    ProgramBuilder bb("div");
+    auto stride = bb.here();
+    bb.nop();                       // pc 0
+    auto path_b = bb.makeLabel();
+    bb.br(2, path_b);               // pc 1: diverges on r2
+    bb.addi(3, 3, 1);               // pc 2: path A
+    bb.jmp(stride);                 // pc 3
+    bb.bind(path_b);
+    bb.addi(4, 4, 1);               // pc 4: path B
+    bb.jmp(stride);                 // pc 5
+    Program p = bb.build();
+
+    auto lanes = makeLanes(8, 1, [&](unsigned j, CpuState &ctx) {
+        ctx.regs[2] = j % 2;
+    });
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    LaneRunStats st = ex.run(lanes, 0, 0, false, /*reconverge=*/false,
+                             0);
+    EXPECT_EQ(st.divergences, 1u);
+    EXPECT_EQ(st.invalidated, 4u);   // the non-leading half is killed
+}
+
+TEST_F(LaneExecTest, DvrModeExecutesBothPaths)
+{
+    // Same divergent program, but each path loads different data:
+    // with reconvergence both paths' loads must issue.
+    ProgramBuilder bb("div2");
+    auto stride = bb.here();
+    bb.nop();
+    auto path_b = bb.makeLabel();
+    bb.br(2, path_b);
+    bb.ld(3, 5);                    // path A load
+    bb.jmp(stride);
+    bb.bind(path_b);
+    bb.ld(4, 6);                    // path B load
+    bb.jmp(stride);
+    Program p = bb.build();
+
+    auto lanes = makeLanes(8, 1, [&](unsigned j, CpuState &ctx) {
+        ctx.regs[2] = j % 2;
+        ctx.regs[5] = 0x111000 + j * 64;
+        ctx.regs[6] = 0x222000 + j * 64;
+    });
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    LaneRunStats st = ex.run(lanes, 0, 0, false, /*reconverge=*/true,
+                             0);
+    EXPECT_EQ(st.divergences, 1u);
+    EXPECT_EQ(st.invalidated, 0u);
+    EXPECT_EQ(st.prefetches, 8u);   // every lane issued its load
+    for (auto &l : lanes)
+        EXPECT_TRUE(l.done);
+}
+
+TEST_F(LaneExecTest, StopAtFlrEndsLaneAfterFinalLoad)
+{
+    ProgramBuilder bb("flr");
+    auto stride = bb.here();
+    bb.nop();                       // pc 0
+    bb.ld(2, 1);                    // pc 1  <- FLR
+    bb.addi(3, 3, 1);               // pc 2 (should not execute)
+    bb.jmp(stride);
+    Program p = bb.build();
+
+    auto lanes = makeLanes(4, 1, [&](unsigned j, CpuState &ctx) {
+        ctx.regs[1] = 0x3000 + j * 64;
+    });
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    LaneRunStats st = ex.run(lanes, 0, /*flr=*/1, /*stop_at_flr=*/true,
+                             true, 0);
+    EXPECT_EQ(st.prefetches, 4u);
+    EXPECT_EQ(st.insts, 4u);        // exactly the FLR load per lane
+}
+
+TEST_F(LaneExecTest, TimeoutTerminatesRunawayLanes)
+{
+    // An infinite loop that never returns to the stride pc.
+    ProgramBuilder bb("inf");
+    bb.nop();                        // pc 0 (stride pc, never reached)
+    auto spin = bb.here();
+    bb.addi(1, 1, 1);
+    bb.jmp(spin);
+    Program p = bb.build();
+
+    auto lanes = makeLanes(2, 1, [&](unsigned, CpuState &) {});
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    LaneRunStats st = ex.run(lanes, 0, 0, false, true, 0);
+    EXPECT_GT(st.insts, 0u);
+    for (auto &l : lanes) {
+        EXPECT_TRUE(l.done);
+        EXPECT_LE(l.insts, cfg.runahead.subthread_timeout + 1);
+    }
+}
+
+TEST_F(LaneExecTest, HaltTerminatesLane)
+{
+    ProgramBuilder bb("halt");
+    bb.nop();
+    bb.halt();
+    Program p = bb.build();
+    auto lanes = makeLanes(3, 1, [&](unsigned, CpuState &) {});
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    ex.run(lanes, 0, 0, false, true, 0);
+    for (auto &l : lanes)
+        EXPECT_TRUE(l.done);
+}
+
+TEST_F(LaneExecTest, WildPcKillsGroupSafely)
+{
+    // Jump past the end of the program: lanes must terminate without
+    // panicking (speculative wild path).
+    Program p = [&] {
+        ProgramBuilder b2("wild");
+        b2.nop();
+        auto end = b2.makeLabel();
+        b2.jmp(end);
+        b2.nop();
+        b2.bind(end);
+        b2.nop();   // pc 3: then falls off the end
+        return b2.build();
+    }();
+    auto lanes = makeLanes(2, 1, [&](unsigned, CpuState &) {});
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    EXPECT_NO_THROW(ex.run(lanes, 0, 0, false, true, 0));
+}
+
+TEST_F(LaneExecTest, SpeculativeStoresDoNotTouchMemory)
+{
+    ProgramBuilder bb("st");
+    auto stride = bb.here();
+    bb.nop();
+    bb.movi(2, 0x7777);
+    bb.st(2, 3);
+    bb.jmp(stride);
+    Program p = bb.build();
+    auto lanes = makeLanes(1, 1, [&](unsigned, CpuState &ctx) {
+        ctx.regs[3] = 0x123000;
+    });
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    ex.run(lanes, 0, 0, false, true, 0);
+    EXPECT_EQ(image.read64(0x123000), 0u);
+}
+
+TEST_F(LaneExecTest, TooManyLanesPanics)
+{
+    ProgramBuilder bb("x");
+    bb.nop();
+    Program p = bb.build();
+    std::vector<Lane> lanes(MAX_LANES + 1);
+    LaneExecutor ex(cfg.runahead, p, image, hier);
+    EXPECT_THROW(ex.run(lanes, 0, 0, false, true, 0), PanicError);
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parameterized sweep of the loop-bound inference over (start, bound,
+ * increment) combinations, checking the remaining-iteration count the
+ * vector subthread would use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runahead/loop_bound.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+constexpr uint8_t RJ = 1, REND = 2, RC = 3;
+
+struct SweepPoint
+{
+    int64_t start;
+    int64_t bound;
+    int64_t increment;
+};
+
+class LoopBoundSweep : public ::testing::TestWithParam<SweepPoint>
+{
+};
+
+TEST_P(LoopBoundSweep, RemainingIterationsMatchClosedForm)
+{
+    const SweepPoint pt = GetParam();
+
+    LoopBoundDetector lbd;
+    CpuState entry;
+    entry.regs[RJ] = uint64_t(pt.start);
+    entry.regs[REND] = uint64_t(pt.bound);
+    lbd.enter(entry, /*stride_pc=*/10);
+    lbd.finalLoadSeen(12);
+    lbd.compareSeen(14, Inst{Op::CmpLtu, RC, RJ, REND});
+    Inst br{Op::Br, REG_NONE, RC, REG_NONE, REG_NONE, 1, 10};
+    lbd.branchSeen(15, br, 10);
+    ASSERT_TRUE(lbd.sbbSet());
+
+    CpuState exit_state = entry;
+    exit_state.regs[RJ] = uint64_t(pt.start + pt.increment);
+    LoopBoundInfo info = lbd.infer(exit_state);
+    ASSERT_TRUE(info.valid);
+    EXPECT_EQ(info.increment, pt.increment);
+
+    auto rem = LoopBoundDetector::remainingIterations(info, exit_state);
+    ASSERT_TRUE(rem.has_value());
+    int64_t expect =
+        (pt.bound - (pt.start + pt.increment)) / pt.increment;
+    if (expect < 0)
+        expect = 0;
+    EXPECT_EQ(int64_t(*rem), expect)
+        << "start=" << pt.start << " bound=" << pt.bound
+        << " inc=" << pt.increment;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LoopBoundSweep,
+    ::testing::Values(
+        SweepPoint{0, 100, 1}, SweepPoint{0, 100, 2},
+        SweepPoint{0, 100, 7}, SweepPoint{5, 128, 1},
+        SweepPoint{50, 51, 1}, SweepPoint{50, 50, 1},
+        SweepPoint{0, 1000000, 1}, SweepPoint{0, 8, 1},
+        SweepPoint{100, 20, -1}, SweepPoint{100, 20, -4},
+        SweepPoint{7, 7, 3}, SweepPoint{0, 127, 1},
+        SweepPoint{0, 129, 1}));
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the Loop-Bound Detector (FLR / LCR / SBB and the
+ * checkpoint-based bound inference, paper §4.1.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runahead/loop_bound.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+constexpr uint8_t RJ = 1;     // induction register
+constexpr uint8_t REND = 2;   // bound register
+constexpr uint8_t RC = 3;     // compare result
+
+Inst
+cmpInst()
+{
+    return Inst{Op::CmpLtu, RC, RJ, REND};
+}
+
+Inst
+brInst()
+{
+    return Inst{Op::Br, REG_NONE, RC, REG_NONE, REG_NONE, 1, 10};
+}
+
+TEST(LoopBoundTest, DetectsSimpleLoop)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    entry.regs[RJ] = 4;
+    entry.regs[REND] = 100;
+    lbd.enter(entry, /*stride_pc=*/20);
+
+    lbd.finalLoadSeen(22);
+    lbd.compareSeen(25, cmpInst());
+    // Backward branch: taken dest 20 <= stride pc 20.
+    Inst br = brInst();
+    br.imm = 20;
+    lbd.branchSeen(26, br, 20);
+    EXPECT_TRUE(lbd.sbbSet());
+    EXPECT_EQ(lbd.flr(), 22u);
+
+    CpuState exit_state = entry;
+    exit_state.regs[RJ] = 5;   // one iteration: +1
+    LoopBoundInfo info = lbd.infer(exit_state);
+    ASSERT_TRUE(info.valid);
+    EXPECT_EQ(info.induction_reg, RJ);
+    EXPECT_EQ(info.bound_reg, REND);
+    EXPECT_EQ(info.increment, 1);
+    EXPECT_EQ(info.bound_value, 100u);
+
+    auto rem = LoopBoundDetector::remainingIterations(info, exit_state);
+    ASSERT_TRUE(rem.has_value());
+    EXPECT_EQ(*rem, 95u);
+}
+
+TEST(LoopBoundTest, ForwardBranchDoesNotLockLcr)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(25, cmpInst());
+    Inst br = brInst();
+    br.imm = 40;   // forward target
+    lbd.branchSeen(26, br, 40);
+    EXPECT_FALSE(lbd.sbbSet());
+}
+
+TEST(LoopBoundTest, BranchSourceMustMatchCompareDest)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(25, cmpInst());
+    Inst br = brInst();
+    br.rs1 = 9;   // not the compare's destination
+    lbd.branchSeen(26, br, 20);
+    EXPECT_FALSE(lbd.sbbSet());
+}
+
+TEST(LoopBoundTest, SbbFreezesLcr)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    entry.regs[RJ] = 0;
+    entry.regs[REND] = 10;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(25, cmpInst());
+    Inst br = brInst();
+    br.imm = 20;
+    lbd.branchSeen(26, br, 20);
+    // A later compare must not displace the locked LCR.
+    Inst other{Op::CmpEq, 5, 6, 7};
+    lbd.compareSeen(30, other);
+
+    CpuState exit_state = entry;
+    exit_state.regs[RJ] = 2;
+    LoopBoundInfo info = lbd.infer(exit_state);
+    EXPECT_TRUE(info.valid);
+    EXPECT_EQ(info.induction_reg, RJ);
+}
+
+TEST(LoopBoundTest, NewFinalLoadRestartsSearch)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    entry.regs[RJ] = 0;
+    entry.regs[REND] = 10;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(21, cmpInst());
+    Inst br = brInst();
+    br.imm = 20;
+    lbd.branchSeen(22, br, 20);
+    EXPECT_TRUE(lbd.sbbSet());
+    // A new tainted load resets SBB so the *innermost* loop around
+    // the chain is re-identified.
+    lbd.finalLoadSeen(23);
+    EXPECT_FALSE(lbd.sbbSet());
+    EXPECT_EQ(lbd.flr(), 23u);
+}
+
+TEST(LoopBoundTest, BothRegistersChangingFailsInference)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    entry.regs[RJ] = 0;
+    entry.regs[REND] = 10;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(25, cmpInst());
+    Inst br = brInst();
+    br.imm = 20;
+    lbd.branchSeen(26, br, 20);
+    CpuState exit_state = entry;
+    exit_state.regs[RJ] = 1;
+    exit_state.regs[REND] = 11;
+    EXPECT_FALSE(lbd.infer(exit_state).valid);
+}
+
+TEST(LoopBoundTest, NeitherChangingFailsInference)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(25, cmpInst());
+    Inst br = brInst();
+    br.imm = 20;
+    lbd.branchSeen(26, br, 20);
+    EXPECT_FALSE(lbd.infer(entry).valid);
+}
+
+TEST(LoopBoundTest, DecrementingLoops)
+{
+    LoopBoundDetector lbd;
+    CpuState entry;
+    entry.regs[RJ] = 100;
+    entry.regs[REND] = 20;
+    lbd.enter(entry, 20);
+    lbd.compareSeen(25, cmpInst());
+    Inst br = brInst();
+    br.imm = 20;
+    lbd.branchSeen(26, br, 20);
+    CpuState exit_state = entry;
+    exit_state.regs[RJ] = 98;   // -2 per iteration
+    LoopBoundInfo info = lbd.infer(exit_state);
+    ASSERT_TRUE(info.valid);
+    EXPECT_EQ(info.increment, -2);
+    auto rem = LoopBoundDetector::remainingIterations(info, exit_state);
+    ASSERT_TRUE(rem.has_value());
+    EXPECT_EQ(*rem, 39u);   // (20 - 98) / -2
+}
+
+TEST(LoopBoundTest, RemainingNeverNegative)
+{
+    LoopBoundInfo info;
+    info.valid = true;
+    info.induction_reg = RJ;
+    info.bound_reg = REND;
+    info.increment = 1;
+    CpuState st;
+    st.regs[RJ] = 50;
+    st.regs[REND] = 10;   // already past the bound
+    auto rem = LoopBoundDetector::remainingIterations(info, st);
+    ASSERT_TRUE(rem.has_value());
+    EXPECT_EQ(*rem, 0u);
+}
+
+TEST(LoopBoundTest, InvalidInfoYieldsNoRemaining)
+{
+    LoopBoundInfo info;
+    CpuState st;
+    EXPECT_FALSE(
+        LoopBoundDetector::remainingIterations(info, st).has_value());
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the GPU-style reconvergence stack (paper §4.2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runahead/reconv_stack.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(ReconvStackTest, PushPopLifo)
+{
+    ReconvergenceStack s(8);
+    LaneMask m1, m2;
+    m1.set(0);
+    m2.set(1);
+    EXPECT_TRUE(s.push(100, m1));
+    EXPECT_TRUE(s.push(200, m2));
+    EXPECT_EQ(s.depth(), 2u);
+    auto e = s.pop();
+    EXPECT_EQ(e.pc, 200u);
+    EXPECT_TRUE(e.mask.test(1));
+    e = s.pop();
+    EXPECT_EQ(e.pc, 100u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(ReconvStackTest, CapacityDropsExcessGroups)
+{
+    ReconvergenceStack s(2);
+    LaneMask m;
+    m.set(0);
+    EXPECT_TRUE(s.push(1, m));
+    EXPECT_TRUE(s.push(2, m));
+    EXPECT_FALSE(s.push(3, m));
+    EXPECT_EQ(s.drops(), 1u);
+    EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(ReconvStackTest, PopEmptyPanics)
+{
+    ReconvergenceStack s(4);
+    EXPECT_THROW(s.pop(), PanicError);
+}
+
+TEST(ReconvStackTest, MaskPreserves128Lanes)
+{
+    ReconvergenceStack s(8);
+    LaneMask m;
+    for (int i = 0; i < 128; i += 3)
+        m.set(i);
+    s.push(7, m);
+    auto e = s.pop();
+    EXPECT_EQ(e.mask.count(), m.count());
+    EXPECT_TRUE(e.mask.test(126));
+}
+
+TEST(ReconvStackTest, ClearEmptiesStack)
+{
+    ReconvergenceStack s(8);
+    LaneMask m;
+    m.set(5);
+    s.push(1, m);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+} // namespace
+} // namespace vrsim

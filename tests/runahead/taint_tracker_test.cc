@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the Vector Taint Tracker (VTT, paper §4.1.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runahead/taint_tracker.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+Inst
+aluInst(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2 = REG_NONE)
+{
+    return Inst{op, rd, rs1, rs2};
+}
+
+TEST(TaintTrackerTest, InitSeedsOnlyDestination)
+{
+    TaintTracker t;
+    t.init(5);
+    EXPECT_TRUE(t.isTainted(5));
+    EXPECT_FALSE(t.isTainted(4));
+    EXPECT_FALSE(t.isTainted(REG_NONE));
+}
+
+TEST(TaintTrackerTest, TaintPropagatesThroughAlu)
+{
+    TaintTracker t;
+    t.init(1);
+    t.propagate(aluInst(Op::Add, 2, 1, 3));   // r2 = r1 + r3
+    EXPECT_TRUE(t.isTainted(2));
+    t.propagate(aluInst(Op::Shli, 4, 2));     // r4 = r2 << i
+    EXPECT_TRUE(t.isTainted(4));
+}
+
+TEST(TaintTrackerTest, TransitiveChainAcrossManyRegs)
+{
+    TaintTracker t;
+    t.init(1);
+    for (uint8_t r = 2; r < 10; r++)
+        t.propagate(aluInst(Op::Mov, r, uint8_t(r - 1)));
+    EXPECT_TRUE(t.isTainted(9));
+}
+
+TEST(TaintTrackerTest, UntaintedOverwriteClearsTaint)
+{
+    TaintTracker t;
+    t.init(1);
+    t.propagate(aluInst(Op::Add, 2, 1, 1));
+    EXPECT_TRUE(t.isTainted(2));
+    // r2 = r3 + r4, neither tainted: taint must clear (paper rule).
+    t.propagate(aluInst(Op::Add, 2, 3, 4));
+    EXPECT_FALSE(t.isTainted(2));
+}
+
+TEST(TaintTrackerTest, MoviClearsTaint)
+{
+    TaintTracker t;
+    t.init(1);
+    t.propagate(Inst{Op::Movi, 1, REG_NONE, REG_NONE, REG_NONE, 1, 7});
+    EXPECT_FALSE(t.isTainted(1));
+}
+
+TEST(TaintTrackerTest, SourceTaintedChecksAllSources)
+{
+    TaintTracker t;
+    t.init(3);
+    Inst ld{Op::Ld, 5, 2, 3, REG_NONE, 8, 0};   // index reg tainted
+    EXPECT_TRUE(t.sourceTainted(ld));
+    Inst st{Op::St, REG_NONE, 2, REG_NONE, 3, 1, 0}; // value tainted
+    EXPECT_TRUE(t.sourceTainted(st));
+    Inst clean{Op::Add, 9, 2, 4};
+    EXPECT_FALSE(t.sourceTainted(clean));
+}
+
+TEST(TaintTrackerTest, LoadFromTaintedAddressTaintsDest)
+{
+    TaintTracker t;
+    t.init(1);
+    Inst ld{Op::Ld, 6, 2, 1, REG_NONE, 8, 0};
+    t.propagate(ld);
+    EXPECT_TRUE(t.isTainted(6));
+}
+
+TEST(TaintTrackerTest, BranchesAndStoresDoNotWriteTaint)
+{
+    TaintTracker t;
+    t.init(1);
+    uint64_t before = t.raw();
+    t.propagate(Inst{Op::Br, REG_NONE, 1, REG_NONE, REG_NONE, 1, 0});
+    t.propagate(Inst{Op::St, REG_NONE, 1, REG_NONE, 2, 1, 0});
+    EXPECT_EQ(t.raw(), before);
+}
+
+TEST(TaintTrackerTest, ReinitResetsEverything)
+{
+    TaintTracker t;
+    t.init(1);
+    t.propagate(aluInst(Op::Mov, 2, 1));
+    t.init(7);
+    EXPECT_FALSE(t.isTainted(1));
+    EXPECT_FALSE(t.isTainted(2));
+    EXPECT_TRUE(t.isTainted(7));
+}
+
+} // namespace
+} // namespace vrsim

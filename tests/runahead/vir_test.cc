@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the Vector Issue Register pacing model (paper §4.2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runahead/vir.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+RunaheadConfig
+cfg()
+{
+    return RunaheadConfig{};   // 16 x 8 lanes
+}
+
+TEST(VirTest, ScalarInstructionTakesOneSlot)
+{
+    VectorIssueRegister vir(cfg());
+    vir.start(100);
+    LaneMask m;
+    for (int i = 0; i < 128; i++)
+        m.set(i);
+    Cycle t = vir.issue(m, false);
+    EXPECT_EQ(t, 100u);
+    EXPECT_EQ(vir.now(), 101u);
+}
+
+TEST(VirTest, FullVectorTakesSixteenCopies)
+{
+    VectorIssueRegister vir(cfg());
+    vir.start(0);
+    LaneMask m;
+    for (int i = 0; i < 128; i++)
+        m.set(i);
+    Cycle t = vir.issue(m, true);
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(vir.now(), 16u);   // 128 lanes / 8 per copy
+    EXPECT_EQ(vir.issuedCopies(), 16u);
+}
+
+TEST(VirTest, PartialMaskRoundsUp)
+{
+    VectorIssueRegister vir(cfg());
+    vir.start(0);
+    LaneMask m;
+    for (int i = 0; i < 20; i++)
+        m.set(i);
+    vir.issue(m, true);
+    EXPECT_EQ(vir.now(), 3u);   // ceil(20 / 8)
+}
+
+TEST(VirTest, CopyOfMapsLanesToCopies)
+{
+    VectorIssueRegister vir(cfg());
+    LaneMask m;
+    for (int i = 0; i < 128; i++)
+        m.set(i);
+    EXPECT_EQ(vir.copyOf(0, m), 0u);
+    EXPECT_EQ(vir.copyOf(7, m), 0u);
+    EXPECT_EQ(vir.copyOf(8, m), 1u);
+    EXPECT_EQ(vir.copyOf(127, m), 15u);
+}
+
+TEST(VirTest, CopyOfCountsOnlyActiveLanes)
+{
+    VectorIssueRegister vir(cfg());
+    LaneMask m;
+    // Only even lanes active: lane 16 is the 9th active lane.
+    for (int i = 0; i < 128; i += 2)
+        m.set(i);
+    EXPECT_EQ(vir.copyOf(16, m), 1u);
+    EXPECT_EQ(vir.copyOf(14, m), 0u);
+}
+
+TEST(VirTest, WaitUntilOnlyMovesForward)
+{
+    VectorIssueRegister vir(cfg());
+    vir.start(50);
+    vir.waitUntil(40);
+    EXPECT_EQ(vir.now(), 50u);
+    vir.waitUntil(70);
+    EXPECT_EQ(vir.now(), 70u);
+}
+
+TEST(VirTest, EmptyMaskStillAdvancesOneSlot)
+{
+    VectorIssueRegister vir(cfg());
+    vir.start(0);
+    LaneMask empty;
+    vir.issue(empty, true);
+    EXPECT_EQ(vir.now(), 1u);
+}
+
+} // namespace
+} // namespace vrsim

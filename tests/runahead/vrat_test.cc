@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Vector Register Allocation Table resource model
+ * (paper §4.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runahead/vrat.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(VratTest, ResetAllocatesScalarCopies)
+{
+    Vrat v(128, 128, 16);
+    // Every architectural register gets a fresh scalar register.
+    EXPECT_EQ(v.scalarUsed(), uint32_t(NUM_ARCH_REGS));
+    EXPECT_EQ(v.vectorUsed(), 0u);
+    EXPECT_FALSE(v.failed());
+}
+
+TEST(VratTest, VectorizeConsumesSixteenRegisters)
+{
+    Vrat v(128, 128, 16);
+    EXPECT_TRUE(v.vectorizeDst(3));
+    EXPECT_TRUE(v.isVectorized(3));
+    EXPECT_EQ(v.vectorUsed(), 16u);
+    // The scalar copy was freed on overwrite.
+    EXPECT_EQ(v.scalarUsed(), uint32_t(NUM_ARCH_REGS) - 1);
+}
+
+TEST(VratTest, VectorizeIdempotent)
+{
+    Vrat v(128, 128, 16);
+    v.vectorizeDst(3);
+    v.vectorizeDst(3);
+    EXPECT_EQ(v.vectorUsed(), 16u);
+}
+
+TEST(VratTest, FreeListExhaustionFlagsFailure)
+{
+    Vrat v(128, 32, 16);   // room for only two vectorized registers
+    EXPECT_TRUE(v.vectorizeDst(1));
+    EXPECT_TRUE(v.vectorizeDst(2));
+    EXPECT_FALSE(v.vectorizeDst(3));
+    EXPECT_TRUE(v.failed());
+    EXPECT_EQ(v.vectorUsed(), 32u);
+}
+
+TEST(VratTest, ScalarOverwriteReturnsVectorRegisters)
+{
+    Vrat v(128, 128, 16);
+    v.vectorizeDst(4);
+    EXPECT_TRUE(v.scalarizeDst(4));   // WAW by a scalar instruction
+    EXPECT_FALSE(v.isVectorized(4));
+    EXPECT_EQ(v.vectorUsed(), 0u);
+    EXPECT_EQ(v.scalarUsed(), uint32_t(NUM_ARCH_REGS));
+}
+
+TEST(VratTest, ResetReclaimsEverything)
+{
+    Vrat v(128, 128, 16);
+    v.vectorizeDst(1);
+    v.vectorizeDst(2);
+    v.reset();
+    EXPECT_EQ(v.vectorUsed(), 0u);
+    EXPECT_FALSE(v.isVectorized(1));
+    EXPECT_FALSE(v.failed());
+}
+
+TEST(VratTest, PaperBudgetSupportsEightChainRegisters)
+{
+    // 128 vector physical registers at 16 per mapping: 8 vectorized
+    // architectural registers, matching the paper's VRAT geometry.
+    Vrat v(128, 128, 16);
+    for (uint8_t r = 0; r < 8; r++)
+        EXPECT_TRUE(v.vectorizeDst(r));
+    EXPECT_FALSE(v.vectorizeDst(9));
+}
+
+TEST(VratTest, BadRegisterPanics)
+{
+    Vrat v(128, 128, 16);
+    EXPECT_THROW(v.vectorizeDst(NUM_ARCH_REGS), PanicError);
+}
+
+} // namespace
+} // namespace vrsim

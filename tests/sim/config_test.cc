@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the system configuration (Table 1 defaults, technique
+ * names, bench scaling, printing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(ConfigTest, PaperDefaultsMatchTable1)
+{
+    SystemConfig cfg = SystemConfig::paper();
+    EXPECT_EQ(cfg.core.width, 5u);
+    EXPECT_EQ(cfg.core.rob_size, 350u);
+    EXPECT_EQ(cfg.core.issue_queue, 128u);
+    EXPECT_EQ(cfg.core.load_queue, 128u);
+    EXPECT_EQ(cfg.core.store_queue, 72u);
+    EXPECT_EQ(cfg.core.frontend_stages, 15u);
+    EXPECT_EQ(cfg.l1d.size_bytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1d.assoc, 8u);
+    EXPECT_EQ(cfg.l1d.latency, 4u);
+    EXPECT_EQ(cfg.l1d.mshrs, 24u);
+    EXPECT_EQ(cfg.l2.size_bytes, 256u * 1024);
+    EXPECT_EQ(cfg.l3.size_bytes, 8u * 1024 * 1024);
+    EXPECT_EQ(cfg.l3.assoc, 16u);
+    EXPECT_EQ(cfg.l3.latency, 30u);
+    EXPECT_EQ(cfg.dram.latency, 200u);   // 50 ns at 4 GHz
+    EXPECT_DOUBLE_EQ(cfg.dram.bytes_per_cycle, 12.8);
+    EXPECT_EQ(cfg.core.int_phys_regs, 256u);
+    EXPECT_EQ(cfg.core.vec_phys_regs, 128u);
+}
+
+TEST(ConfigTest, RunaheadDefaultsMatchPaper)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.runahead.stride_entries, 32u);
+    EXPECT_EQ(cfg.runahead.vector_regs, 16u);
+    EXPECT_EQ(cfg.runahead.lanes_per_vector, 8u);
+    EXPECT_EQ(cfg.runahead.max_lanes(), 128u);
+    EXPECT_EQ(cfg.runahead.subthread_timeout, 200u);
+    EXPECT_EQ(cfg.runahead.nested_trigger_lanes, 64u);
+    EXPECT_EQ(cfg.runahead.reconv_stack_entries, 8u);
+    EXPECT_EQ(cfg.runahead.frontend_buffer_uops, 8u);
+}
+
+TEST(ConfigTest, BenchScaleShrinksLlcOnly)
+{
+    SystemConfig p = SystemConfig::paper();
+    SystemConfig b = SystemConfig::benchScale();
+    EXPECT_LT(b.l3.size_bytes, p.l3.size_bytes);
+    EXPECT_EQ(b.l1d.size_bytes, p.l1d.size_bytes);
+    EXPECT_EQ(b.core.rob_size, p.core.rob_size);
+}
+
+TEST(ConfigTest, TechniqueNames)
+{
+    EXPECT_EQ(techniqueName(Technique::OoO), "OoO");
+    EXPECT_EQ(techniqueName(Technique::Pre), "PRE");
+    EXPECT_EQ(techniqueName(Technique::Imp), "IMP");
+    EXPECT_EQ(techniqueName(Technique::Vr), "VR");
+    EXPECT_EQ(techniqueName(Technique::Dvr), "DVR");
+    EXPECT_EQ(techniqueName(Technique::Oracle), "Oracle");
+}
+
+TEST(ConfigTest, PrintConfigMentionsKeyStructures)
+{
+    std::ostringstream os;
+    printConfig(os, SystemConfig::paper());
+    EXPECT_NE(os.str().find("ROB 350"), std::string::npos);
+    EXPECT_NE(os.str().find("24 MSHRs"), std::string::npos);
+    EXPECT_NE(os.str().find("technique"), std::string::npos);
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, range, and crude
+ * uniformity (workload generation depends on these properties).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowRoughlyUniform)
+{
+    Rng r(11);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; i++)
+        ++counts[r.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c), n / 8.0, n / 8.0 * 0.1);
+}
+
+TEST(RngTest, ZeroSeedStillWorks)
+{
+    Rng r(0);
+    uint64_t v = r.next();
+    EXPECT_NE(v, 0u);   // splitmix expansion avoids the zero state
+}
+
+} // namespace
+} // namespace vrsim

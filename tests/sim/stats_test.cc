@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(ScalarTest, IncrementAndAssign)
+{
+    Scalar s("hits");
+    ++s;
+    ++s;
+    s += 3.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s = 1.0;
+    EXPECT_DOUBLE_EQ(s.value(), 1.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(AverageTest, MeanOfSamples)
+{
+    Average a("lat");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(HistogramTest, BucketingAndOverflow)
+{
+    Histogram h("occ", 4, 10.0);   // buckets [0,10) ... [30,40) + ovf
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(100);    // overflow
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(4), 0.25);
+}
+
+TEST(HistogramTest, WeightedSamplesAndMean)
+{
+    Histogram h("w", 10, 1.0);
+    h.sample(2, 3);   // three samples of value 2
+    h.sample(8, 1);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (2 * 3 + 8) / 4.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToFirstBucket)
+{
+    Histogram h("n", 4, 1.0);
+    h.sample(-3.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(HistogramTest, BadGeometryPanics)
+{
+    EXPECT_THROW(Histogram("bad", 0, 1.0), PanicError);
+    EXPECT_THROW(Histogram("bad", 4, 0.0), PanicError);
+}
+
+TEST(StatGroupTest, CreateLookupDump)
+{
+    StatGroup g("core");
+    g.scalar("cycles") += 100;
+    g.scalar("insts") += 250;
+    EXPECT_TRUE(g.has("cycles"));
+    EXPECT_FALSE(g.has("nope"));
+    EXPECT_DOUBLE_EQ(g.value("insts"), 250.0);
+    EXPECT_THROW(g.value("nope"), PanicError);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core.cycles 100"), std::string::npos);
+    EXPECT_NE(os.str().find("core.insts 250"), std::string::npos);
+
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value("cycles"), 0.0);
+}
+
+TEST(StatGroupTest, ScalarIsStableAcrossInserts)
+{
+    StatGroup g;
+    Scalar &a = g.scalar("a");
+    a += 1;
+    for (int i = 0; i < 100; i++)
+        g.scalar("s" + std::to_string(i));
+    // std::map storage: references must remain valid.
+    a += 1;
+    EXPECT_DOUBLE_EQ(g.value("a"), 2.0);
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the synthetic graph generators (Table 2 inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workloads/graph.hh"
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(GraphTest, CsrInvariants)
+{
+    GraphScale s;
+    s.nodes = 1 << 10;
+    for (GraphInput in : {GraphInput::Kron, GraphInput::Ljn,
+                          GraphInput::Ork, GraphInput::Tw,
+                          GraphInput::Ur}) {
+        Graph g = makeGraph(in, s);
+        ASSERT_EQ(g.offsets.size(), g.num_nodes + 1);
+        EXPECT_EQ(g.offsets.front(), 0u);
+        EXPECT_EQ(g.offsets.back(), g.num_edges);
+        for (uint64_t v = 0; v < g.num_nodes; v++)
+            ASSERT_LE(g.offsets[v], g.offsets[v + 1]);
+        for (uint64_t e : g.edges)
+            ASSERT_LT(e, g.num_nodes);
+    }
+}
+
+TEST(GraphTest, DeterministicForSeed)
+{
+    GraphScale s;
+    s.nodes = 1 << 10;
+    Graph a = makeGraph(GraphInput::Kron, s);
+    Graph b = makeGraph(GraphInput::Kron, s);
+    EXPECT_EQ(a.edges, b.edges);
+    s.seed = 99;
+    Graph c = makeGraph(GraphInput::Kron, s);
+    EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(GraphTest, KroneckerIsSkewedUniformIsNot)
+{
+    GraphScale s;
+    s.nodes = 1 << 12;
+    Graph kron = makeGraph(GraphInput::Kron, s);
+    Graph ur = makeGraph(GraphInput::Ur, s);
+
+    auto max_degree = [](const Graph &g) {
+        uint64_t m = 0;
+        for (uint64_t v = 0; v < g.num_nodes; v++)
+            m = std::max(m, g.degree(v));
+        return m;
+    };
+    // Power-law: the hub dominates; uniform: close to the mean.
+    EXPECT_GT(max_degree(kron), 20 * s.avg_degree);
+    EXPECT_LT(max_degree(ur), 5 * s.avg_degree);
+}
+
+TEST(GraphTest, UniformDegreeConcentration)
+{
+    GraphScale s;
+    s.nodes = 1 << 12;
+    Graph g = makeGraph(GraphInput::Ur, s);
+    uint64_t zero_deg = 0;
+    for (uint64_t v = 0; v < g.num_nodes; v++)
+        if (g.degree(v) == 0)
+            ++zero_deg;
+    // Poisson(16): essentially no isolated vertices.
+    EXPECT_LT(zero_deg, g.num_nodes / 100);
+}
+
+TEST(GraphTest, RmatRequiresPowerOfTwoNodes)
+{
+    EXPECT_THROW(makeRmat(1000, 100, 0.5, 0.2, 0.2, 1), PanicError);
+}
+
+TEST(GraphTest, InputNamesMatchPaper)
+{
+    EXPECT_EQ(graphInputName(GraphInput::Kron), "KR");
+    EXPECT_EQ(graphInputName(GraphInput::Ljn), "LJN");
+    EXPECT_EQ(graphInputName(GraphInput::Ork), "ORK");
+    EXPECT_EQ(graphInputName(GraphInput::Tw), "TW");
+    EXPECT_EQ(graphInputName(GraphInput::Ur), "UR");
+}
+
+TEST(GraphTest, EdgeCountsScaleWithConfig)
+{
+    GraphScale s;
+    s.nodes = 1 << 10;
+    s.avg_degree = 8;
+    Graph g = makeGraph(GraphInput::Ur, s);
+    EXPECT_EQ(g.num_edges, s.nodes * 8);
+}
+
+} // namespace
+} // namespace vrsim

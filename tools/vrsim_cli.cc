@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The vrsim command-line runner: simulate any workload under any
+ * technique with configuration overrides, printing a full report or a
+ * CSV row.
+ *
+ * Usage:
+ *   vrsim [options]
+ *     --workload SPEC     bfs/KR, camel, hj8, ... (default camel)
+ *     --technique NAME    ooo|pre|imp|vr|dvr-offload|dvr-discovery|
+ *                         dvr|oracle (default dvr)
+ *     --all-techniques    run every technique, print a speedup table
+ *     --roi N             dynamic-instruction budget (default 150000)
+ *     --rob N             ROB entries (default 350)
+ *     --mshrs N           L1D MSHRs (default 24)
+ *     --lanes N           DVR scalar-equivalent lanes (default 128)
+ *     --nodes N           graph nodes (default 16384)
+ *     --degree N          graph average degree (default 16)
+ *     --elems N           hpc-db elements (default 65536)
+ *     --paper-caches      full Table-1 L2/L3 instead of bench scaling
+ *     --csv               emit a CSV row instead of the report
+ *     --list              list available workload specs
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "driver/report.hh"
+#include "driver/simulation.hh"
+
+using namespace vrsim;
+
+namespace
+{
+
+Technique
+parseTechnique(const std::string &s)
+{
+    if (s == "ooo") return Technique::OoO;
+    if (s == "pre") return Technique::Pre;
+    if (s == "imp") return Technique::Imp;
+    if (s == "vr") return Technique::Vr;
+    if (s == "dvr-offload") return Technique::DvrOffload;
+    if (s == "dvr-discovery") return Technique::DvrDiscovery;
+    if (s == "dvr") return Technique::Dvr;
+    if (s == "oracle") return Technique::Oracle;
+    fatal("unknown technique: " + s);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: vrsim [--workload SPEC] [--technique NAME]\n"
+        "             [--all-techniques] [--roi N] [--rob N]\n"
+        "             [--mshrs N] [--lanes N] [--nodes N]\n"
+        "             [--degree N] [--elems N] [--paper-caches]\n"
+        "             [--csv] [--list]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec = "camel";
+    std::string tech = "dvr";
+    bool all_techniques = false;
+    bool csv = false;
+    bool paper_caches = false;
+    uint64_t roi = 150'000;
+    uint64_t warmup = 0;
+    GraphScale gscale;
+    HpcDbScale hscale;
+    SystemConfig cfg = SystemConfig::benchScale();
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--workload") spec = need(i);
+        else if (a == "--technique") tech = need(i);
+        else if (a == "--all-techniques") all_techniques = true;
+        else if (a == "--roi") roi = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--warmup")
+            warmup = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--rob")
+            cfg.core.rob_size =
+                uint32_t(std::strtoul(need(i), nullptr, 0));
+        else if (a == "--mshrs")
+            cfg.l1d.mshrs = uint32_t(std::strtoul(need(i), nullptr, 0));
+        else if (a == "--lanes")
+            cfg.runahead.vector_regs =
+                uint32_t(std::strtoul(need(i), nullptr, 0)) /
+                cfg.runahead.lanes_per_vector;
+        else if (a == "--nodes")
+            gscale.nodes = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--degree")
+            gscale.avg_degree = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--elems")
+            hscale.elements = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--paper-caches") paper_caches = true;
+        else if (a == "--csv") csv = true;
+        else if (a == "--list") {
+            for (const auto &k : gapKernelNames())
+                for (const char *in : {"KR", "LJN", "ORK", "TW", "UR"})
+                    std::cout << k << "/" << in << "\n";
+            for (const auto &n : hpcDbNames())
+                std::cout << n << "\n";
+            std::cout << "camel-swpf\n";
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    if (paper_caches) {
+        SystemConfig p = SystemConfig::paper();
+        cfg.l2 = p.l2;
+        cfg.l3 = p.l3;
+    }
+
+    try {
+        if (all_techniques) {
+            const Technique techs[] = {
+                Technique::OoO, Technique::Pre, Technique::Imp,
+                Technique::Vr, Technique::DvrOffload,
+                Technique::DvrDiscovery, Technique::Dvr,
+                Technique::Oracle,
+            };
+            CsvWriter writer(std::cout);
+            double base = 0;
+            for (Technique t : techs) {
+                SimResult r = runSimulation(spec, t, cfg, gscale,
+                                            hscale, roi + warmup,
+                                            warmup);
+                if (t == Technique::OoO)
+                    base = r.ipc();
+                if (csv) {
+                    writer.row(r);
+                } else {
+                    std::printf("%-14s IPC %-8.3f speedup %-7.2f "
+                                "MLP %-6.1f DRAM %llu\n",
+                                techniqueName(t).c_str(), r.ipc(),
+                                base > 0 ? r.ipc() / base : 0.0,
+                                r.mlp,
+                                (unsigned long long)r.mem.dramTotal());
+                }
+            }
+            return 0;
+        }
+
+        SimResult r = runSimulation(spec, parseTechnique(tech), cfg,
+                                    gscale, hscale, roi + warmup,
+                                    warmup);
+        if (csv) {
+            CsvWriter writer(std::cout);
+            writer.row(r);
+        } else {
+            printReport(std::cout, r, cfg);
+        }
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

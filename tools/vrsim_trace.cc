@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Pipeline-trace dumper: runs a workload and writes one CSV row per
+ * dynamic instruction (dispatch/ready/issue/complete/commit cycles),
+ * the raw material for pipeline visualizations and for debugging
+ * where time goes in a kernel.
+ *
+ * Usage: vrsim_trace [--workload SPEC] [--technique NAME] [--n COUNT]
+ *                    [--skip COUNT]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/ooo_core.hh"
+#include "driver/simulation.hh"
+#include "runahead/dvr.hh"
+#include "runahead/pre.hh"
+#include "runahead/vector_runahead.hh"
+
+using namespace vrsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string spec = "camel";
+    std::string tech = "ooo";
+    uint64_t count = 200;
+    uint64_t skip = 0;
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << a << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--workload") spec = need();
+        else if (a == "--technique") tech = need();
+        else if (a == "--n") count = std::strtoull(need(), nullptr, 0);
+        else if (a == "--skip")
+            skip = std::strtoull(need(), nullptr, 0);
+        else {
+            std::cerr << "usage: vrsim_trace [--workload SPEC] "
+                         "[--technique NAME] [--n N] [--skip N]\n";
+            return 2;
+        }
+    }
+
+    SystemConfig cfg = SystemConfig::benchScale();
+    Workload w = makeWorkload(spec, GraphScale{}, HpcDbScale{});
+
+    cfg.technique = tech == "dvr" ? Technique::Dvr
+                  : tech == "vr" ? Technique::Vr
+                  : tech == "pre" ? Technique::Pre
+                  : tech == "oracle" ? Technique::Oracle
+                  : Technique::OoO;
+
+    MemoryHierarchy hier(cfg, w.image);
+    std::unique_ptr<RunaheadEngine> engine;
+    if (cfg.technique == Technique::Dvr)
+        engine = std::make_unique<DecoupledVectorRunahead>(
+            cfg, w.prog, w.image, hier);
+    else if (cfg.technique == Technique::Vr)
+        engine = std::make_unique<VectorRunahead>(cfg, w.prog, w.image,
+                                                  hier);
+    else if (cfg.technique == Technique::Pre)
+        engine = std::make_unique<PreEngine>(cfg, w.prog, w.image,
+                                             hier);
+
+    OooCore core(cfg, w.prog, w.image, hier, engine.get());
+
+    std::cout << "i,pc,disasm,dispatch,ready,issue,complete,commit,"
+                 "load,mispredict\n";
+    core.setTrace([&](const TraceRecord &t) {
+        if (t.index < skip || t.index >= skip + count)
+            return;
+        std::string dis = t.inst->toString();
+        for (char &c : dis)
+            if (c == ',')
+                c = ';';
+        std::cout << t.index << "," << t.pc << "," << dis << ","
+                  << t.dispatch << "," << t.ready << "," << t.issue
+                  << "," << t.complete << "," << t.commit << ","
+                  << (t.is_load ? 1 : 0) << ","
+                  << (t.mispredicted ? 1 : 0) << "\n";
+    });
+    core.run(w.init, skip + count);
+    return 0;
+}
