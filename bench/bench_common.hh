@@ -16,7 +16,9 @@
 #ifndef VRSIM_BENCH_COMMON_HH
 #define VRSIM_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,7 +32,27 @@ inline uint64_t
 envU64(const char *name, uint64_t dflt)
 {
     const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 0) : dflt;
+    if (!v)
+        return dflt;
+    // A typo'd value silently parsing to 0 would flip e.g. VRSIM_ROI
+    // into unlimited-budget mode; reject it loudly instead. Exit
+    // rather than throw: the experiment binaries have no try/catch in
+    // main, and an uncaught FatalError would abort with a core dump
+    // where a one-line diagnostic is wanted.
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 0);
+    if (end == v || *end != '\0' || std::strchr(v, '-')) {
+        std::cerr << "fatal: invalid value for " << name << ": '" << v
+                  << "' (expected a non-negative integer)\n";
+        std::exit(1);
+    }
+    if (errno == ERANGE) {
+        std::cerr << "fatal: value for " << name << " out of range: '"
+                  << v << "'\n";
+        std::exit(1);
+    }
+    return parsed;
 }
 
 /** Scaled-input environment shared by all experiment binaries. */
@@ -54,11 +76,21 @@ struct BenchEnv
         return e;
     }
 
+    /**
+     * Fault-isolated run: a failed (fatal/panic/hang) combination is
+     * warned about and reported with zeroed statistics instead of
+     * aborting the whole experiment binary mid-table.
+     */
     SimResult
     run(const std::string &spec, Technique t) const
     {
-        return runSimulation(spec, t, cfg, gscale, hscale,
-                             roi + warmup, warmup);
+        SimResult r = runSimulationGuarded(spec, t, cfg, gscale,
+                                           hscale, roi + warmup,
+                                           warmup);
+        if (!r.ok())
+            warn(spec + " under " + techniqueName(t) + " failed (" +
+                 simStatusName(r.status) + "): " + r.status_message);
+        return r;
     }
 };
 

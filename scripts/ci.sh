@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build and run the unit/integration test suite twice —
+# once plain, once under AddressSanitizer + UBSan (VRSIM_SANITIZE,
+# see CMakeLists.txt). Bench smoke tests are included in both; the
+# full figure sweeps live in scripts/run_all.sh.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+JOBS="${1:-$(nproc)}"
+cd "$(dirname "$0")/.."
+
+echo "=== plain build ==="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== sanitized build (ASan + UBSan) ==="
+cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVRSIM_SANITIZE=ON
+cmake --build build-ci-asan -j "$JOBS"
+ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+
+echo "ci: both configurations passed"

@@ -1,16 +1,51 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every paper table/figure.
+#
+# Benchmark binaries run fault-isolated: one failing experiment is
+# recorded in the summary table instead of aborting the sweep (see
+# docs/robustness.md). Exit status is nonzero if anything failed.
+#
 # Usage: scripts/run_all.sh [build-dir]
-set -euo pipefail
+set -uo pipefail
 BUILD="${1:-build}"
 cd "$(dirname "$0")/.."
 
-cmake -B "$BUILD" -G Ninja
+# Build + unit tests must succeed before any sweep is worth running.
+set -e
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+    cmake -B "$BUILD"
+else
+    cmake -B "$BUILD" -G Ninja
+fi
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+set +e
 
+declare -a names statuses
+failures=0
+: > bench_output.txt
 for b in "$BUILD"/bench/*; do
-    [ -x "$b" ] || continue
-    echo "### $(basename "$b")"
-    "$b"
-done 2>&1 | tee bench_output.txt
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "### $name" | tee -a bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+    rc=$?
+    names+=("$name")
+    if [ "$rc" -eq 0 ]; then
+        statuses+=("pass")
+    else
+        statuses+=("FAIL (exit $rc)")
+        failures=$((failures + 1))
+    fi
+done
+
+echo
+echo "=== benchmark summary ==="
+for i in "${!names[@]}"; do
+    printf '%-40s %s\n' "${names[$i]}" "${statuses[$i]}"
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "error: $failures benchmark binaries failed (see bench_output.txt)" >&2
+    exit 1
+fi

@@ -25,6 +25,7 @@ OooCore::OooCore(const SystemConfig &cfg, const Program &prog,
     : cfg_(cfg), prog_(prog), image_(image), hier_(hier),
       engine_(engine), l1i_("l1i", cfg.l1i)
 {
+    cfg_.validate(false);
     const CoreConfig &c = cfg.core;
     int_add_ = PortBank{c.int_add_units, c.int_add_lat, true, {}};
     int_mul_ = PortBank{c.int_mul_units, c.int_mul_lat, true, {}};
@@ -101,8 +102,36 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
     CoreStats warm;
     Cycle warm_cycle = 0;
 
+    // Forward-progress watchdog: how the run looked when the snapshot
+    // is taken at expiry. ROB occupancy = entries whose commit is
+    // still in the future at the current cycle.
+    const uint64_t watchdog = cfg_.watchdog_cycles;
+    auto progressSnapshot = [&](uint64_t retired, const char *where) {
+        ProgressSnapshot snap;
+        snap.where = where;
+        snap.pc = state.pc;
+        snap.retired = retired;
+        snap.cycles = last_cycle;
+        for (Cycle freed : rob_ring)
+            if (freed > last_cycle)
+                ++snap.rob_occupancy;
+        snap.mshr_busy = hier_.l1Mshrs().busyAt(last_cycle);
+        return snap;
+    };
+
     uint64_t i = 0;
     for (; !state.halted && (budget == 0 || i < budget); i++) {
+        // A run with no instruction budget anywhere (max_insts = 0)
+        // terminates only if the program halts; bound it so a
+        // non-halting program raises a diagnosable HangError instead
+        // of spinning forever. A budgeted run terminates by
+        // construction, so only the per-instruction gap check below
+        // applies there.
+        if (watchdog && budget == 0 && last_cycle > watchdog)
+            hang("unbounded run passed " + std::to_string(watchdog) +
+                     " cycles without halting (raise "
+                     "--watchdog-cycles for longer programs)",
+                 progressSnapshot(i, "core.run"));
         if (warmup_insts && i == warmup_insts) {
             warm = st;
             warm_cycle = last_cycle;
@@ -319,6 +348,12 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
         Cycle commit = std::max({complete + 1, last_commit,
                                  commit_floor,
                                  commit_width_ring[i % c.width] + 1});
+        if (watchdog && commit - dispatch > watchdog)
+            hang("no retirement for " + std::to_string(watchdog) +
+                     " cycles: a resource reservation pushed commit " +
+                     std::to_string(commit - dispatch) +
+                     " cycles past dispatch",
+                 progressSnapshot(i, "core.commit"));
         last_commit = commit;
         commit_width_ring[i % c.width] = commit;
 
@@ -374,6 +409,27 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
     if (warmup_insts && i > warmup_insts) {
         // Report the region of interest only; timing state (caches,
         // predictors, in-flight misses) carried across the boundary.
+        if (cfg_.invariant_checks) {
+            // Counters are monotone, so the warmup snapshot can never
+            // exceed the final value; a violation means the subtraction
+            // below would wrap to a huge bogus statistic.
+            panicIfNot(last_cycle >= warm_cycle &&
+                           st.loads >= warm.loads &&
+                           st.stores >= warm.stores &&
+                           st.branches >= warm.branches &&
+                           st.mispredicts >= warm.mispredicts &&
+                           st.rob_stall_cycles >= warm.rob_stall_cycles &&
+                           st.full_rob_stall_events >=
+                               warm.full_rob_stall_events &&
+                           st.runahead_commit_stall >=
+                               warm.runahead_commit_stall &&
+                           st.stall_fetch >= warm.stall_fetch &&
+                           st.stall_iq >= warm.stall_iq &&
+                           st.stall_lq >= warm.stall_lq &&
+                           st.stall_sq >= warm.stall_sq,
+                       "core stats regressed across the warmup "
+                       "boundary (subtraction would underflow)");
+        }
         st.instructions = i - warmup_insts;
         st.cycles = last_cycle - warm_cycle;
         st.loads -= warm.loads;

@@ -13,6 +13,7 @@ toStatGroup(const SimResult &r)
         g.scalar(k) = v;
     };
 
+    set("run.ok", r.ok() ? 1.0 : 0.0);
     set("core.instructions", double(r.core.instructions));
     set("core.cycles", double(r.core.cycles));
     set("core.ipc", r.ipc());
@@ -97,6 +98,15 @@ printReport(std::ostream &os, const SimResult &r,
     SystemConfig shown = cfg;
     shown.technique = r.technique;
     printConfig(os, shown);
+
+    if (!r.ok()) {
+        // A failed run has no meaningful statistics: report what
+        // happened and stop.
+        os << "\n-- status --\n";
+        os << "status          " << simStatusName(r.status) << "\n";
+        os << "message         " << r.status_message << "\n";
+        return;
+    }
 
     os << "\n-- performance --\n";
     os << std::fixed << std::setprecision(3);
@@ -186,14 +196,21 @@ CsvWriter::row(const SimResult &r)
     StatGroup g = toStatGroup(r);
     if (!wrote_header_) {
         wrote_header_ = true;
-        os_ << "workload,technique";
+        os_ << "workload,technique,status,message";
         for (const auto &kv : g.all()) {
             columns_.push_back(kv.first);
             os_ << "," << kv.first;
         }
         os_ << "\n";
     }
-    os_ << r.workload << "," << techniqueName(r.technique);
+    // The diagnostic message may contain the CSV separator; keep the
+    // row machine-parsable.
+    std::string msg = r.status_message;
+    for (char &c : msg)
+        if (c == ',' || c == '\n')
+            c = ';';
+    os_ << r.workload << "," << techniqueName(r.technique) << ","
+        << simStatusName(r.status) << "," << msg;
     for (const auto &col : columns_)
         os_ << "," << (g.has(col) ? g.value(col) : 0.0);
     os_ << "\n";

@@ -6,6 +6,51 @@
 namespace vrsim
 {
 
+const char *
+simStatusName(SimStatus s)
+{
+    switch (s) {
+      case SimStatus::Ok: return "ok";
+      case SimStatus::Fatal: return "fatal";
+      case SimStatus::Panic: return "panic";
+      case SimStatus::Hang: return "hang";
+    }
+    panic("unknown SimStatus");
+}
+
+namespace
+{
+
+/**
+ * Run @p body, folding the error taxonomy into the result record so
+ * sweeps continue past the failure. @p workload/@p technique label
+ * the failed record even when the body never produced one.
+ */
+template <typename Body>
+SimResult
+guarded(const std::string &workload, Technique technique,
+        const Body &body)
+{
+    SimResult failed;
+    failed.workload = workload;
+    failed.technique = technique;
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        failed.status = SimStatus::Fatal;
+        failed.status_message = e.what();
+    } catch (const HangError &e) {
+        failed.status = SimStatus::Hang;
+        failed.status_message = e.what();
+    } catch (const PanicError &e) {
+        failed.status = SimStatus::Panic;
+        failed.status_message = e.what();
+    }
+    return failed;
+}
+
+} // namespace
+
 SimResult
 runWorkload(Workload &w, Technique technique, SystemConfig cfg,
             uint64_t max_insts, uint64_t warmup_insts)
@@ -63,7 +108,7 @@ runWorkload(Workload &w, Technique technique, SystemConfig cfg,
         warm_mem = hier.stats();
         warm_busy = hier.l1Mshrs().busyIntegral();
     });
-    res.mem = hier.stats().since(warm_mem);
+    res.mem = hier.stats().since(warm_mem, cfg.invariant_checks);
     uint64_t busy = hier.l1Mshrs().busyIntegral() - warm_busy;
     res.mlp = res.core.cycles ? double(busy) / double(res.core.cycles)
                               : 0.0;
@@ -84,6 +129,27 @@ runSimulation(const std::string &spec, Technique technique,
 {
     Workload w = makeWorkload(spec, gscale, hscale);
     return runWorkload(w, technique, cfg, max_insts, warmup_insts);
+}
+
+SimResult
+runWorkloadGuarded(Workload &w, Technique technique, SystemConfig cfg,
+                   uint64_t max_insts, uint64_t warmup_insts)
+{
+    return guarded(w.name, technique, [&] {
+        return runWorkload(w, technique, cfg, max_insts, warmup_insts);
+    });
+}
+
+SimResult
+runSimulationGuarded(const std::string &spec, Technique technique,
+                     SystemConfig cfg, const GraphScale &gscale,
+                     const HpcDbScale &hscale, uint64_t max_insts,
+                     uint64_t warmup_insts)
+{
+    return guarded(spec, technique, [&] {
+        return runSimulation(spec, technique, cfg, gscale, hscale,
+                             max_insts, warmup_insts);
+    });
 }
 
 std::vector<std::string>

@@ -23,14 +23,35 @@
 namespace vrsim
 {
 
+/**
+ * How one simulation run ended. The guarded entry points map the
+ * error taxonomy (sim/logging.hh) onto this so a sweep can record a
+ * failed run and keep going; see docs/robustness.md.
+ */
+enum class SimStatus : uint8_t
+{
+    Ok,      //!< run completed, statistics are valid
+    Fatal,   //!< rejected configuration / user error (FatalError)
+    Panic,   //!< internal invariant violation (PanicError)
+    Hang,    //!< forward-progress watchdog expired (HangError)
+};
+
+/** Lower-case status name as rendered in reports and CSV. */
+const char *simStatusName(SimStatus s);
+
 /** Uniform result record of one simulation run. */
 struct SimResult
 {
     std::string workload;
     Technique technique = Technique::OoO;
+    SimStatus status = SimStatus::Ok;
+    std::string status_message;  //!< diagnostic when status != Ok
     CoreStats core;
     MemStats mem;
     double mlp = 0.0;        //!< mean L1D MSHRs busy per cycle
+
+    /** Did the run complete (statistics below are meaningful)? */
+    bool ok() const { return status == SimStatus::Ok; }
 
     // Engine summaries (whichever applies).
     std::optional<PreStats> pre;
@@ -76,6 +97,25 @@ SimResult runSimulation(const std::string &spec, Technique technique,
 SimResult runWorkload(Workload &w, Technique technique,
                       SystemConfig cfg, uint64_t max_insts = 0,
                       uint64_t warmup_insts = 0);
+
+/**
+ * Fault-isolated variants: any FatalError / PanicError / HangError
+ * raised by the run is caught and recorded as the result's status +
+ * message instead of propagating, so one bad configuration or wedged
+ * run degrades a sweep rather than destroying it. Failed results
+ * carry zeroed statistics and ok() == false.
+ */
+SimResult runWorkloadGuarded(Workload &w, Technique technique,
+                             SystemConfig cfg, uint64_t max_insts = 0,
+                             uint64_t warmup_insts = 0);
+
+/** Guarded runSimulation (also catches workload-construction errors). */
+SimResult runSimulationGuarded(const std::string &spec,
+                               Technique technique, SystemConfig cfg,
+                               const GraphScale &gscale = GraphScale{},
+                               const HpcDbScale &hscale = HpcDbScale{},
+                               uint64_t max_insts = 0,
+                               uint64_t warmup_insts = 0);
 
 /** All benchmark-input specs of the paper's Fig. 7 (GAP x 5 inputs +
  *  hpc-db). */

@@ -5,9 +5,29 @@
 namespace vrsim
 {
 
+namespace
+{
+
+/**
+ * Guardrail on every simulation path: the hierarchy is built before
+ * the core and the engines, so a degenerate sweep point fails here
+ * with the full diagnostic (including warnings). Validation must run
+ * before the member initializers — a zero-capacity MSHR bank would
+ * otherwise panic() inside IntervalResource instead of fatal()ing
+ * with the offending parameter name.
+ */
+const SystemConfig &
+validated(const SystemConfig &cfg)
+{
+    cfg.validate(true);
+    return cfg;
+}
+
+} // namespace
+
 MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg,
                                  MemoryImage &image)
-    : cfg_(cfg), image_(image),
+    : cfg_(validated(cfg)), image_(image),
       l1d_("l1d", cfg.l1d),
       l2_("l2", cfg.l2),
       l3_("l3", cfg.l3),

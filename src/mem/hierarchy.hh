@@ -56,10 +56,35 @@ struct MemStats
         return t;
     }
 
-    /** Counter-wise difference (for warmup exclusion). */
+    /**
+     * Counter-wise difference (for warmup exclusion). With @p check
+     * set (cfg.invariant_checks), panics if any counter regressed —
+     * an unsigned subtraction that would wrap to a bogus statistic.
+     */
     MemStats
-    since(const MemStats &w) const
+    since(const MemStats &w, bool check = false) const
     {
+        if (check) {
+            panicIfNot(
+                demand_accesses >= w.demand_accesses &&
+                    demand_l1_hits >= w.demand_l1_hits &&
+                    demand_l2_hits >= w.demand_l2_hits &&
+                    demand_l3_hits >= w.demand_l3_hits &&
+                    demand_mem >= w.demand_mem &&
+                    demand_latency_sum >= w.demand_latency_sum &&
+                    pf_lines_filled >= w.pf_lines_filled &&
+                    pf_used_l1 >= w.pf_used_l1 &&
+                    pf_used_l2 >= w.pf_used_l2 &&
+                    pf_used_l3 >= w.pf_used_l3 &&
+                    pf_used_inflight >= w.pf_used_inflight,
+                "memory stats regressed across the warmup boundary "
+                "(subtraction would underflow)");
+            for (size_t i = 0; i < dram_by_requester.size(); i++)
+                panicIfNot(dram_by_requester[i] >=
+                               w.dram_by_requester[i],
+                           "DRAM requester counter regressed across "
+                           "the warmup boundary");
+        }
         MemStats d = *this;
         d.demand_accesses -= w.demand_accesses;
         d.demand_l1_hits -= w.demand_l1_hits;

@@ -67,7 +67,15 @@ class IntervalResource
         for (Cycle b = first_b; b <= last_b; b++)
             ++used_[b];
         Cycle start = std::max(earliest, first_b << shift_);
+        // Guardrail: the busy integral is monotone by construction;
+        // a decrease means the duration arithmetic wrapped (e.g. a
+        // fill time earlier than its issue time upstream) and every
+        // MLP statistic derived from it would be garbage.
+        const uint64_t before = busy_integral_;
         busy_integral_ += duration;
+        panicIfNot(busy_integral_ >= before,
+                   "MSHR/port busy integral went backwards "
+                   "(duration arithmetic wrapped)");
         ++allocations_;
         if (start > earliest)
             ++stalls_;

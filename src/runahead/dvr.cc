@@ -12,10 +12,12 @@ DecoupledVectorRunahead::DecoupledVectorRunahead(
       features_(features),
       rpt_(cfg.runahead.stride_entries,
            uint8_t(cfg.runahead.stride_confidence)),
-      executor_(cfg_.runahead, prog, image, hier),
+      executor_(cfg_.runahead, prog, image, hier,
+                cfg.invariant_checks),
       vrat_(cfg.core.int_phys_regs / 2, cfg.core.vec_phys_regs,
             cfg.runahead.vector_regs)
 {
+    cfg_.validate(false);
     rpt_.reset();
 }
 

@@ -67,7 +67,28 @@ LaneExecutor::run(std::vector<Lane> &lanes, uint32_t stride_pc,
 
     Cycle last_issue = start_cycle;
 
+    // Forward-progress watchdog on the SIMT loop. Every iteration
+    // either executes at least one lane instruction (bounded by
+    // lanes x subthread_timeout), pops the bounded stack, or kills a
+    // group, so this limit is unreachable unless the loop wedges; it
+    // converts a simulator hang into a diagnosable HangError.
+    const uint64_t step_limit =
+        (uint64_t(lanes.size()) + 1) *
+            (uint64_t(cfg_.subthread_timeout) + 2) * 4 +
+        1024;
+    uint64_t steps = 0;
+
     while (true) {
+        if (++steps > step_limit) {
+            ProgressSnapshot snap;
+            snap.where = "runahead.lanes";
+            snap.pc = pc;
+            snap.retired = st.insts;
+            snap.cycles = vir.now();
+            hang("lane executor exceeded its structural step bound "
+                 "(" + std::to_string(step_limit) + ")",
+                 std::move(snap));
+        }
         // Refill the active group from the reconvergence stack.
         if (active.none()) {
             if (stack.empty())
@@ -219,6 +240,16 @@ LaneExecutor::run(std::vector<Lane> &lanes, uint32_t stride_pc,
             }
         }
         pc = lead_pc;
+    }
+
+    if (invariant_checks_) {
+        // The loop exits only once the active group and the stack are
+        // both drained: every pushed divergence group must have been
+        // popped (drops never enter the stack).
+        panicIfNot(stack.empty() && stack.pushes() == stack.pops(),
+                   "reconvergence stack unbalanced at subthread end "
+                   "(pushes=" + std::to_string(stack.pushes()) +
+                       " pops=" + std::to_string(stack.pops()) + ")");
     }
 
     st.end_time = std::max(vir.now(), last_issue + 1);

@@ -49,9 +49,16 @@ struct LaneRunStats
 class LaneExecutor
 {
   public:
+    /**
+     * @param invariant_checks enable the cheap end-of-run invariant
+     *        checks (reconvergence-stack balance); the engines pass
+     *        SystemConfig::invariant_checks through
+     */
     LaneExecutor(const RunaheadConfig &cfg, const Program &prog,
-                 MemoryImage &image, MemoryHierarchy &hier)
-        : cfg_(cfg), prog_(prog), image_(image), hier_(hier)
+                 MemoryImage &image, MemoryHierarchy &hier,
+                 bool invariant_checks = true)
+        : cfg_(cfg), prog_(prog), image_(image), hier_(hier),
+          invariant_checks_(invariant_checks)
     {}
 
     /**
@@ -83,6 +90,7 @@ class LaneExecutor
     const Program &prog_;
     MemoryImage &image_;
     MemoryHierarchy &hier_;
+    bool invariant_checks_;
 };
 
 } // namespace vrsim

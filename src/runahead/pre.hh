@@ -39,7 +39,9 @@ class PreEngine : public RunaheadEngine
     PreEngine(const SystemConfig &cfg, const Program &prog,
               MemoryImage &image, MemoryHierarchy &hier)
         : cfg_(cfg), prog_(prog), image_(image), hier_(hier)
-    {}
+    {
+        cfg_.validate(false);
+    }
 
     Cycle onFullRobStall(Cycle stall_start, Cycle head_fill,
                          const CpuState &frontier,

@@ -61,6 +61,7 @@ class ReconvergenceStack
             return false;
         }
         stack_.push_back({pc, mask});
+        ++pushes_;
         return true;
     }
 
@@ -71,11 +72,18 @@ class ReconvergenceStack
         panicIfNot(!stack_.empty(), "pop from empty reconvergence stack");
         Entry e = stack_.back();
         stack_.pop_back();
+        ++pops_;
         return e;
     }
 
     uint64_t drops() const { return drops_; }
     uint32_t capacity() const { return capacity_; }
+
+    // Lifetime balance counters for the invariant check at the end of
+    // a lane-executor run: every pushed group must eventually be
+    // popped (the stack drains before the subthread terminates).
+    uint64_t pushes() const { return pushes_; }
+    uint64_t pops() const { return pops_; }
 
     void clear() { stack_.clear(); }
 
@@ -83,6 +91,8 @@ class ReconvergenceStack
     uint32_t capacity_;
     std::vector<Entry> stack_;
     uint64_t drops_ = 0;
+    uint64_t pushes_ = 0;
+    uint64_t pops_ = 0;
 };
 
 } // namespace vrsim

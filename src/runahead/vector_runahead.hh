@@ -43,8 +43,10 @@ class VectorRunahead : public RunaheadEngine
         : cfg_(cfg), prog_(prog), image_(image), hier_(hier),
           rpt_(cfg.runahead.stride_entries,
                uint8_t(cfg.runahead.stride_confidence)),
-          executor_(cfg_.runahead, prog, image, hier)
+          executor_(cfg_.runahead, prog, image, hier,
+                    cfg.invariant_checks)
     {
+        cfg_.validate(false);
         rpt_.reset();
     }
 

@@ -106,6 +106,14 @@ struct RunaheadConfig
 
     // PRE specifics.
     uint32_t pre_chain_cap = 1024; //!< max µops walked per interval
+
+    /**
+     * Guardrail: ceiling on the computed §4.4 storage budget of the
+     * DVR structures. The paper's configuration costs 1139 bytes;
+     * the default leaves headroom for the 256-lane §6.1 design point
+     * while rejecting runaway geometries. 0 disables the check.
+     */
+    uint64_t max_budget_bytes = 8192;
 };
 
 /** Which latency-tolerance technique drives a simulation run. */
@@ -139,6 +147,34 @@ struct SystemConfig
     Technique technique = Technique::OoO;
 
     uint64_t max_insts = 0;   //!< dynamic-instruction budget (0 = run to halt)
+
+    /**
+     * Forward-progress watchdog bound in cycles (0 disables). An
+     * unbounded run (`max_insts == 0` everywhere) that has not halted
+     * within this many simulated cycles, or a single instruction whose
+     * dispatch-to-commit gap exceeds it, raises HangError with a
+     * progress snapshot instead of spinning forever. The default is
+     * far beyond any harness run (~3 orders of magnitude above the
+     * benchmark ROI) so it only fires on genuinely wedged runs.
+     */
+    uint64_t watchdog_cycles = 100'000'000;
+
+    /**
+     * Cheap always-on invariant checks (MSHR busy-integral
+     * monotonicity, non-negative stats after warmup subtraction,
+     * reconvergence-stack balance). Tests force-enable this; huge
+     * sweeps may disable it to shave the last few percent.
+     */
+    bool invariant_checks = true;
+
+    /**
+     * Reject degenerate or inconsistent parameters with fatal(), and
+     * warn() about suspicious-but-legal ones when @p verbose. Invoked
+     * at MemoryHierarchy/OooCore/engine construction so a bad sweep
+     * point fails with an actionable diagnostic instead of wedging or
+     * silently mis-modelling.
+     */
+    void validate(bool verbose = true) const;
 
     /**
      * The benchmark harness runs scaled-down inputs; this shrinks the

@@ -3,12 +3,16 @@
  * Logging, panic and fatal helpers in the gem5 tradition.
  *
  * panic() is for internal simulator bugs (aborts); fatal() is for user
- * or configuration errors (clean exit); warn()/inform() report status.
+ * or configuration errors (clean exit); hang() is for forward-progress
+ * watchdog expiry (a run that stopped retiring/draining); warn()/
+ * inform() report status. See docs/robustness.md for the taxonomy and
+ * the exit codes the tools map each class to.
  */
 
 #ifndef VRSIM_SIM_LOGGING_HH
 #define VRSIM_SIM_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -30,6 +34,56 @@ class FatalError : public std::runtime_error
   public:
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
+
+/**
+ * Forward-progress snapshot attached to a HangError: where the run
+ * was when the watchdog concluded it had wedged.
+ */
+struct ProgressSnapshot
+{
+    std::string where;           //!< which loop fired (core, lanes, ...)
+    uint64_t pc = 0;             //!< architectural PC at expiry
+    uint64_t retired = 0;        //!< instructions retired so far
+    uint64_t cycles = 0;         //!< simulated cycles elapsed
+    uint64_t rob_occupancy = 0;  //!< in-flight window entries
+    uint64_t mshr_busy = 0;      //!< L1D MSHRs outstanding
+
+    std::string
+    toString() const
+    {
+        return where + " pc=" + std::to_string(pc) +
+               " retired=" + std::to_string(retired) +
+               " cycles=" + std::to_string(cycles) +
+               " rob=" + std::to_string(rob_occupancy) +
+               " mshrs=" + std::to_string(mshr_busy);
+    }
+};
+
+/**
+ * Exception thrown by hang() when a forward-progress watchdog expires:
+ * the run was structurally alive but stopped making progress (or can
+ * never halt). Carries the progress snapshot for the failure report.
+ */
+class HangError : public std::runtime_error
+{
+  public:
+    HangError(const std::string &msg, ProgressSnapshot snap)
+        : std::runtime_error(msg + " [" + snap.toString() + "]"),
+          snapshot_(std::move(snap))
+    {}
+
+    const ProgressSnapshot &progress() const { return snapshot_; }
+
+  private:
+    ProgressSnapshot snapshot_;
+};
+
+/** Report a forward-progress watchdog expiry. */
+[[noreturn]] inline void
+hang(const std::string &msg, ProgressSnapshot snap)
+{
+    throw HangError("hang: " + msg, std::move(snap));
+}
 
 /**
  * Report an internal simulator invariant violation.

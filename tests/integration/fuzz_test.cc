@@ -110,6 +110,12 @@ TEST_P(FuzzProgram, AllTechniquesRunAndPreserveArchitecture)
 {
     const uint64_t seed = GetParam();
     SystemConfig cfg = SystemConfig::benchScale();
+    // Fuzz under the full guardrail set: a generous-but-finite
+    // watchdog (these runs take well under 10^6 cycles) plus the
+    // always-on invariant checks, so a wedge or corrupted counter in
+    // any engine turns into a structured failure instead of a timeout.
+    cfg.watchdog_cycles = 2'000'000;
+    cfg.invariant_checks = true;
     const uint64_t budget = 20000;
 
     // Reference: pure functional execution of the same budget.

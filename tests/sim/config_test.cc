@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "sim/config.hh"
+#include "sim/logging.hh"
 
 namespace vrsim
 {
@@ -77,6 +79,152 @@ TEST(ConfigTest, PrintConfigMentionsKeyStructures)
     EXPECT_NE(os.str().find("ROB 350"), std::string::npos);
     EXPECT_NE(os.str().find("24 MSHRs"), std::string::npos);
     EXPECT_NE(os.str().find("technique"), std::string::npos);
+}
+
+TEST(ConfigValidateTest, AcceptsShippedConfigurations)
+{
+    EXPECT_NO_THROW(SystemConfig::paper().validate(false));
+    EXPECT_NO_THROW(SystemConfig::benchScale().validate(false));
+}
+
+/** One degenerate-parameter case: name + mutation applied to a valid
+ *  baseline, which validate() must then reject with FatalError. */
+struct BadConfigCase
+{
+    const char *name;
+    std::function<void(SystemConfig &)> mutate;
+};
+
+class ConfigRejection
+    : public ::testing::TestWithParam<BadConfigCase>
+{
+};
+
+TEST_P(ConfigRejection, RejectsDegenerateParameter)
+{
+    SystemConfig cfg = SystemConfig::benchScale();
+    GetParam().mutate(cfg);
+    EXPECT_THROW(cfg.validate(false), FatalError) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigRejection,
+    ::testing::Values(
+        BadConfigCase{"zero_width",
+                      [](SystemConfig &c) { c.core.width = 0; }},
+        BadConfigCase{"zero_rob",
+                      [](SystemConfig &c) { c.core.rob_size = 0; }},
+        BadConfigCase{"zero_issue_queue",
+                      [](SystemConfig &c) { c.core.issue_queue = 0; }},
+        BadConfigCase{"zero_load_queue",
+                      [](SystemConfig &c) { c.core.load_queue = 0; }},
+        BadConfigCase{"zero_store_queue",
+                      [](SystemConfig &c) { c.core.store_queue = 0; }},
+        BadConfigCase{"zero_frontend",
+                      [](SystemConfig &c) {
+                          c.core.frontend_stages = 0;
+                      }},
+        BadConfigCase{"zero_load_ports",
+                      [](SystemConfig &c) { c.core.load_ports = 0; }},
+        BadConfigCase{"zero_fu_class",
+                      [](SystemConfig &c) { c.core.int_mul_units = 0; }},
+        BadConfigCase{"zero_phys_regs",
+                      [](SystemConfig &c) { c.core.int_phys_regs = 0; }},
+        BadConfigCase{"non_pow2_line",
+                      [](SystemConfig &c) { c.l1d.line_bytes = 48; }},
+        BadConfigCase{"zero_line",
+                      [](SystemConfig &c) { c.l1d.line_bytes = 0; }},
+        BadConfigCase{"zero_assoc",
+                      [](SystemConfig &c) { c.l2.assoc = 0; }},
+        BadConfigCase{"cache_smaller_than_one_set",
+                      [](SystemConfig &c) { c.l1d.size_bytes = 256; }},
+        BadConfigCase{"non_pow2_sets",
+                      [](SystemConfig &c) {
+                          c.l3.size_bytes = 3 * 64 * 1024;
+                      }},
+        BadConfigCase{"zero_mshrs",
+                      [](SystemConfig &c) { c.l1d.mshrs = 0; }},
+        BadConfigCase{"zero_cache_ports",
+                      [](SystemConfig &c) { c.l1d.ports = 0; }},
+        BadConfigCase{"zero_cache_latency",
+                      [](SystemConfig &c) { c.l2.latency = 0; }},
+        BadConfigCase{"zero_dram_latency",
+                      [](SystemConfig &c) { c.dram.latency = 0; }},
+        BadConfigCase{"nonpositive_dram_bw",
+                      [](SystemConfig &c) {
+                          c.dram.bytes_per_cycle = 0.0;
+                      }},
+        BadConfigCase{"zero_dram_channels",
+                      [](SystemConfig &c) { c.dram.channels = 0; }},
+        BadConfigCase{"enabled_stride_pf_no_streams",
+                      [](SystemConfig &c) { c.stride_pf.streams = 0; }},
+        BadConfigCase{"imp_without_table",
+                      [](SystemConfig &c) {
+                          c.technique = Technique::Imp;
+                          c.imp.table_entries = 0;
+                      }},
+        BadConfigCase{"zero_lanes_per_vector",
+                      [](SystemConfig &c) {
+                          c.runahead.lanes_per_vector = 0;
+                      }},
+        BadConfigCase{"zero_vector_regs",
+                      [](SystemConfig &c) {
+                          c.runahead.vector_regs = 0;
+                      }},
+        BadConfigCase{"lanes_above_structural_limit",
+                      [](SystemConfig &c) {
+                          c.runahead.vector_regs = 1024;
+                          c.runahead.max_budget_bytes = 0;
+                      }},
+        BadConfigCase{"zero_stride_entries",
+                      [](SystemConfig &c) {
+                          c.runahead.stride_entries = 0;
+                      }},
+        BadConfigCase{"zero_discovery_cap",
+                      [](SystemConfig &c) {
+                          c.runahead.discovery_max_insts = 0;
+                      }},
+        BadConfigCase{"zero_subthread_timeout",
+                      [](SystemConfig &c) {
+                          c.runahead.subthread_timeout = 0;
+                      }},
+        BadConfigCase{"zero_reconv_stack",
+                      [](SystemConfig &c) {
+                          c.runahead.reconv_stack_entries = 0;
+                      }},
+        BadConfigCase{"zero_frontend_buffer",
+                      [](SystemConfig &c) {
+                          c.runahead.frontend_buffer_uops = 0;
+                      }},
+        BadConfigCase{"zero_pre_chain_cap",
+                      [](SystemConfig &c) {
+                          c.runahead.pre_chain_cap = 0;
+                      }},
+        BadConfigCase{"hardware_budget_exceeded",
+                      [](SystemConfig &c) {
+                          c.runahead.max_budget_bytes = 64;
+                      }}),
+    [](const ::testing::TestParamInfo<BadConfigCase> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(ConfigValidateTest, BudgetCeilingCanBeDisabled)
+{
+    // A 64-byte ceiling rejects the default geometry (see the matrix
+    // case above); 0 must disable the check entirely, not act as an
+    // even tighter ceiling.
+    SystemConfig cfg = SystemConfig::benchScale();
+    cfg.runahead.max_budget_bytes = 0;
+    EXPECT_NO_THROW(cfg.validate(false));
+}
+
+TEST(ConfigValidateTest, PaperGeometryFitsDefaultBudgetCeiling)
+{
+    // The 256-lane §6.1 design point must also fit under the default
+    // ceiling; only runaway geometries get rejected.
+    SystemConfig cfg = SystemConfig::benchScale();
+    cfg.runahead.vector_regs = 32;  // 32 x 8 = 256 lanes
+    EXPECT_NO_THROW(cfg.validate(false));
 }
 
 } // namespace

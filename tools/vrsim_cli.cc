@@ -11,19 +11,31 @@
  *                         dvr|oracle (default dvr)
  *     --all-techniques    run every technique, print a speedup table
  *     --roi N             dynamic-instruction budget (default 150000)
+ *     --warmup N          instructions excluded from statistics
  *     --rob N             ROB entries (default 350)
  *     --mshrs N           L1D MSHRs (default 24)
  *     --lanes N           DVR scalar-equivalent lanes (default 128)
  *     --nodes N           graph nodes (default 16384)
  *     --degree N          graph average degree (default 16)
  *     --elems N           hpc-db elements (default 65536)
+ *     --watchdog-cycles N forward-progress watchdog bound (0 = off)
+ *     --keep-going        record failed runs in a sweep and continue
+ *     --inject-fail NAME  fault injection: panic the named technique's
+ *                         run (exercises --keep-going in tests)
  *     --paper-caches      full Table-1 L2/L3 instead of bench scaling
  *     --csv               emit a CSV row instead of the report
  *     --list              list available workload specs
+ *
+ * Exit codes (see docs/robustness.md):
+ *   0 success; 1 fatal (bad configuration / failed runs under
+ *   --keep-going); 2 usage; 70 internal panic or watchdog hang.
  */
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <iterator>
 
 #include "driver/report.hh"
 #include "driver/simulation.hh"
@@ -32,6 +44,10 @@ using namespace vrsim;
 
 namespace
 {
+
+constexpr int EXIT_FATAL = 1;
+constexpr int EXIT_USAGE = 2;
+constexpr int EXIT_PANIC_OR_HANG = 70;  //!< sysexits EX_SOFTWARE
 
 Technique
 parseTechnique(const std::string &s)
@@ -47,16 +63,49 @@ parseTechnique(const std::string &s)
     fatal("unknown technique: " + s);
 }
 
+/**
+ * Strict numeric parsing: strtoull's silent-zero on garbage would
+ * e.g. turn `--roi garbage` into max_insts = 0, flipping the run into
+ * unlimited-budget mode. Reject non-numeric, trailing-junk and
+ * overflowing values with the flag named.
+ */
+uint64_t
+parseU64(const std::string &flag, const char *s)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal("invalid value for " + flag + ": '" + s +
+              "' (expected a non-negative integer)");
+    if (errno == ERANGE)
+        fatal("value for " + flag + " out of range: '" + s + "'");
+    if (std::strchr(s, '-'))
+        fatal("invalid value for " + flag + ": '" + s +
+              "' (negative values are not allowed)");
+    return v;
+}
+
+uint32_t
+parseU32(const std::string &flag, const char *s)
+{
+    uint64_t v = parseU64(flag, s);
+    if (v > UINT32_MAX)
+        fatal("value for " + flag + " out of range: '" + s + "'");
+    return uint32_t(v);
+}
+
 [[noreturn]] void
 usage()
 {
     std::cerr <<
         "usage: vrsim [--workload SPEC] [--technique NAME]\n"
-        "             [--all-techniques] [--roi N] [--rob N]\n"
-        "             [--mshrs N] [--lanes N] [--nodes N]\n"
-        "             [--degree N] [--elems N] [--paper-caches]\n"
-        "             [--csv] [--list]\n";
-    std::exit(2);
+        "             [--all-techniques] [--roi N] [--warmup N]\n"
+        "             [--rob N] [--mshrs N] [--lanes N] [--nodes N]\n"
+        "             [--degree N] [--elems N] [--watchdog-cycles N]\n"
+        "             [--keep-going] [--inject-fail NAME]\n"
+        "             [--paper-caches] [--csv] [--list]\n";
+    std::exit(EXIT_USAGE);
 }
 
 } // namespace
@@ -66,7 +115,9 @@ main(int argc, char **argv)
 {
     std::string spec = "camel";
     std::string tech = "dvr";
+    std::string inject_fail;
     bool all_techniques = false;
+    bool keep_going = false;
     bool csv = false;
     bool paper_caches = false;
     uint64_t roi = 150'000;
@@ -81,51 +132,54 @@ main(int argc, char **argv)
         return argv[++i];
     };
 
-    for (int i = 1; i < argc; i++) {
-        std::string a = argv[i];
-        if (a == "--workload") spec = need(i);
-        else if (a == "--technique") tech = need(i);
-        else if (a == "--all-techniques") all_techniques = true;
-        else if (a == "--roi") roi = std::strtoull(need(i), nullptr, 0);
-        else if (a == "--warmup")
-            warmup = std::strtoull(need(i), nullptr, 0);
-        else if (a == "--rob")
-            cfg.core.rob_size =
-                uint32_t(std::strtoul(need(i), nullptr, 0));
-        else if (a == "--mshrs")
-            cfg.l1d.mshrs = uint32_t(std::strtoul(need(i), nullptr, 0));
-        else if (a == "--lanes")
-            cfg.runahead.vector_regs =
-                uint32_t(std::strtoul(need(i), nullptr, 0)) /
-                cfg.runahead.lanes_per_vector;
-        else if (a == "--nodes")
-            gscale.nodes = std::strtoull(need(i), nullptr, 0);
-        else if (a == "--degree")
-            gscale.avg_degree = std::strtoull(need(i), nullptr, 0);
-        else if (a == "--elems")
-            hscale.elements = std::strtoull(need(i), nullptr, 0);
-        else if (a == "--paper-caches") paper_caches = true;
-        else if (a == "--csv") csv = true;
-        else if (a == "--list") {
-            for (const auto &k : gapKernelNames())
-                for (const char *in : {"KR", "LJN", "ORK", "TW", "UR"})
-                    std::cout << k << "/" << in << "\n";
-            for (const auto &n : hpcDbNames())
-                std::cout << n << "\n";
-            std::cout << "camel-swpf\n";
-            return 0;
-        } else {
-            usage();
-        }
-    }
-
-    if (paper_caches) {
-        SystemConfig p = SystemConfig::paper();
-        cfg.l2 = p.l2;
-        cfg.l3 = p.l3;
-    }
-
     try {
+        for (int i = 1; i < argc; i++) {
+            std::string a = argv[i];
+            if (a == "--workload") spec = need(i);
+            else if (a == "--technique") tech = need(i);
+            else if (a == "--all-techniques") all_techniques = true;
+            else if (a == "--keep-going") keep_going = true;
+            else if (a == "--inject-fail") inject_fail = need(i);
+            else if (a == "--roi") roi = parseU64(a, need(i));
+            else if (a == "--warmup") warmup = parseU64(a, need(i));
+            else if (a == "--rob")
+                cfg.core.rob_size = parseU32(a, need(i));
+            else if (a == "--mshrs")
+                cfg.l1d.mshrs = parseU32(a, need(i));
+            else if (a == "--lanes")
+                cfg.runahead.vector_regs =
+                    parseU32(a, need(i)) /
+                    cfg.runahead.lanes_per_vector;
+            else if (a == "--nodes")
+                gscale.nodes = parseU64(a, need(i));
+            else if (a == "--degree")
+                gscale.avg_degree = parseU64(a, need(i));
+            else if (a == "--elems")
+                hscale.elements = parseU64(a, need(i));
+            else if (a == "--watchdog-cycles")
+                cfg.watchdog_cycles = parseU64(a, need(i));
+            else if (a == "--paper-caches") paper_caches = true;
+            else if (a == "--csv") csv = true;
+            else if (a == "--list") {
+                for (const auto &k : gapKernelNames())
+                    for (const char *in : {"KR", "LJN", "ORK", "TW",
+                                           "UR"})
+                        std::cout << k << "/" << in << "\n";
+                for (const auto &n : hpcDbNames())
+                    std::cout << n << "\n";
+                std::cout << "camel-swpf\n";
+                return 0;
+            } else {
+                usage();
+            }
+        }
+
+        if (paper_caches) {
+            SystemConfig p = SystemConfig::paper();
+            cfg.l2 = p.l2;
+            cfg.l3 = p.l3;
+        }
+
         if (all_techniques) {
             const Technique techs[] = {
                 Technique::OoO, Technique::Pre, Technique::Imp,
@@ -135,29 +189,72 @@ main(int argc, char **argv)
             };
             CsvWriter writer(std::cout);
             double base = 0;
+            size_t failures = 0;
             for (Technique t : techs) {
-                SimResult r = runSimulation(spec, t, cfg, gscale,
-                                            hscale, roi + warmup,
-                                            warmup);
-                if (t == Technique::OoO)
+                auto runOne = [&]() -> SimResult {
+                    if (!inject_fail.empty() &&
+                        parseTechnique(inject_fail) == t)
+                        panic("fault injection requested for " +
+                              techniqueName(t) + " (--inject-fail)");
+                    return runSimulation(spec, t, cfg, gscale, hscale,
+                                         roi + warmup, warmup);
+                };
+                SimResult r;
+                if (keep_going) {
+                    // Fault-isolated sweep: a failed run becomes a
+                    // recorded status row instead of ending the sweep.
+                    if (!inject_fail.empty() &&
+                        parseTechnique(inject_fail) == t) {
+                        r.workload = spec;
+                        r.technique = t;
+                        r.status = SimStatus::Panic;
+                        r.status_message =
+                            "panic: fault injection requested for " +
+                            techniqueName(t) + " (--inject-fail)";
+                    } else {
+                        r = runSimulationGuarded(spec, t, cfg, gscale,
+                                                 hscale, roi + warmup,
+                                                 warmup);
+                    }
+                } else {
+                    r = runOne();
+                }
+                if (!r.ok())
+                    ++failures;
+                if (t == Technique::OoO && r.ok())
                     base = r.ipc();
                 if (csv) {
                     writer.row(r);
-                } else {
+                } else if (r.ok()) {
                     std::printf("%-14s IPC %-8.3f speedup %-7.2f "
                                 "MLP %-6.1f DRAM %llu\n",
                                 techniqueName(t).c_str(), r.ipc(),
                                 base > 0 ? r.ipc() / base : 0.0,
                                 r.mlp,
                                 (unsigned long long)r.mem.dramTotal());
+                } else {
+                    std::printf("%-14s %-6s %s\n",
+                                techniqueName(t).c_str(),
+                                simStatusName(r.status),
+                                r.status_message.c_str());
                 }
+            }
+            if (failures) {
+                std::cerr << "warn: " << failures << " of "
+                          << std::size(techs)
+                          << " technique runs failed (partial "
+                             "results above)\n";
+                return EXIT_FATAL;
             }
             return 0;
         }
 
-        SimResult r = runSimulation(spec, parseTechnique(tech), cfg,
-                                    gscale, hscale, roi + warmup,
-                                    warmup);
+        Technique t = parseTechnique(tech);
+        if (!inject_fail.empty() && parseTechnique(inject_fail) == t)
+            panic("fault injection requested for " + techniqueName(t) +
+                  " (--inject-fail)");
+        SimResult r = runSimulation(spec, t, cfg, gscale, hscale,
+                                    roi + warmup, warmup);
         if (csv) {
             CsvWriter writer(std::cout);
             writer.row(r);
@@ -166,7 +263,13 @@ main(int argc, char **argv)
         }
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";
-        return 1;
+        return EXIT_FATAL;
+    } catch (const HangError &e) {
+        std::cerr << e.what() << "\n";
+        return EXIT_PANIC_OR_HANG;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << "\n";
+        return EXIT_PANIC_OR_HANG;
     }
     return 0;
 }

@@ -7,8 +7,13 @@
  *
  * Usage: vrsim_trace [--workload SPEC] [--technique NAME] [--n COUNT]
  *                    [--skip COUNT]
+ *
+ * Exit codes match vrsim (docs/robustness.md): 0 success, 1 fatal,
+ * 2 usage, 70 internal panic or watchdog hang.
  */
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -20,6 +25,25 @@
 
 using namespace vrsim;
 
+namespace
+{
+
+uint64_t
+parseU64(const std::string &flag, const char *s)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0' || std::strchr(s, '-'))
+        fatal("invalid value for " + flag + ": '" + s +
+              "' (expected a non-negative integer)");
+    if (errno == ERANGE)
+        fatal("value for " + flag + " out of range: '" + s + "'");
+    return v;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -28,65 +52,75 @@ main(int argc, char **argv)
     uint64_t count = 200;
     uint64_t skip = 0;
 
-    for (int i = 1; i < argc; i++) {
-        std::string a = argv[i];
-        auto need = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for " << a << "\n";
-                std::exit(2);
+    try {
+        for (int i = 1; i < argc; i++) {
+            std::string a = argv[i];
+            auto need = [&]() -> const char * {
+                if (i + 1 >= argc) {
+                    std::cerr << "missing value for " << a << "\n";
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (a == "--workload") spec = need();
+            else if (a == "--technique") tech = need();
+            else if (a == "--n") count = parseU64(a, need());
+            else if (a == "--skip") skip = parseU64(a, need());
+            else {
+                std::cerr << "usage: vrsim_trace [--workload SPEC] "
+                             "[--technique NAME] [--n N] [--skip N]\n";
+                return 2;
             }
-            return argv[++i];
-        };
-        if (a == "--workload") spec = need();
-        else if (a == "--technique") tech = need();
-        else if (a == "--n") count = std::strtoull(need(), nullptr, 0);
-        else if (a == "--skip")
-            skip = std::strtoull(need(), nullptr, 0);
-        else {
-            std::cerr << "usage: vrsim_trace [--workload SPEC] "
-                         "[--technique NAME] [--n N] [--skip N]\n";
-            return 2;
         }
+
+        SystemConfig cfg = SystemConfig::benchScale();
+        Workload w = makeWorkload(spec, GraphScale{}, HpcDbScale{});
+
+        cfg.technique = tech == "dvr" ? Technique::Dvr
+                      : tech == "vr" ? Technique::Vr
+                      : tech == "pre" ? Technique::Pre
+                      : tech == "oracle" ? Technique::Oracle
+                      : Technique::OoO;
+
+        MemoryHierarchy hier(cfg, w.image);
+        std::unique_ptr<RunaheadEngine> engine;
+        if (cfg.technique == Technique::Dvr)
+            engine = std::make_unique<DecoupledVectorRunahead>(
+                cfg, w.prog, w.image, hier);
+        else if (cfg.technique == Technique::Vr)
+            engine = std::make_unique<VectorRunahead>(cfg, w.prog,
+                                                      w.image, hier);
+        else if (cfg.technique == Technique::Pre)
+            engine = std::make_unique<PreEngine>(cfg, w.prog, w.image,
+                                                 hier);
+
+        OooCore core(cfg, w.prog, w.image, hier, engine.get());
+
+        std::cout << "i,pc,disasm,dispatch,ready,issue,complete,commit,"
+                     "load,mispredict\n";
+        core.setTrace([&](const TraceRecord &t) {
+            if (t.index < skip || t.index >= skip + count)
+                return;
+            std::string dis = t.inst->toString();
+            for (char &c : dis)
+                if (c == ',')
+                    c = ';';
+            std::cout << t.index << "," << t.pc << "," << dis << ","
+                      << t.dispatch << "," << t.ready << "," << t.issue
+                      << "," << t.complete << "," << t.commit << ","
+                      << (t.is_load ? 1 : 0) << ","
+                      << (t.mispredicted ? 1 : 0) << "\n";
+        });
+        core.run(w.init, skip + count);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const HangError &e) {
+        std::cerr << e.what() << "\n";
+        return 70;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << "\n";
+        return 70;
     }
-
-    SystemConfig cfg = SystemConfig::benchScale();
-    Workload w = makeWorkload(spec, GraphScale{}, HpcDbScale{});
-
-    cfg.technique = tech == "dvr" ? Technique::Dvr
-                  : tech == "vr" ? Technique::Vr
-                  : tech == "pre" ? Technique::Pre
-                  : tech == "oracle" ? Technique::Oracle
-                  : Technique::OoO;
-
-    MemoryHierarchy hier(cfg, w.image);
-    std::unique_ptr<RunaheadEngine> engine;
-    if (cfg.technique == Technique::Dvr)
-        engine = std::make_unique<DecoupledVectorRunahead>(
-            cfg, w.prog, w.image, hier);
-    else if (cfg.technique == Technique::Vr)
-        engine = std::make_unique<VectorRunahead>(cfg, w.prog, w.image,
-                                                  hier);
-    else if (cfg.technique == Technique::Pre)
-        engine = std::make_unique<PreEngine>(cfg, w.prog, w.image,
-                                             hier);
-
-    OooCore core(cfg, w.prog, w.image, hier, engine.get());
-
-    std::cout << "i,pc,disasm,dispatch,ready,issue,complete,commit,"
-                 "load,mispredict\n";
-    core.setTrace([&](const TraceRecord &t) {
-        if (t.index < skip || t.index >= skip + count)
-            return;
-        std::string dis = t.inst->toString();
-        for (char &c : dis)
-            if (c == ',')
-                c = ';';
-        std::cout << t.index << "," << t.pc << "," << dis << ","
-                  << t.dispatch << "," << t.ready << "," << t.issue
-                  << "," << t.complete << "," << t.commit << ","
-                  << (t.is_load ? 1 : 0) << ","
-                  << (t.mispredicted ? 1 : 0) << "\n";
-    });
-    core.run(w.init, skip + count);
     return 0;
 }
