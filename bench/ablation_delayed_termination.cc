@@ -25,6 +25,10 @@ main()
     for (const auto &n : hpcDbNames())
         specs.push_back(n);
 
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::Vr});
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(16) << "benchmark"
               << std::right << std::setw(12) << "episodes"
               << std::setw(14) << "stall-cycles" << std::setw(10)
@@ -32,7 +36,7 @@ main()
 
     double sum = 0;
     for (const auto &spec : specs) {
-        SimResult r = env.run(spec, Technique::Vr);
+        const SimResult &r = table.at(spec, Technique::Vr);
         double frac = r.core.cycles
             ? 100.0 * double(r.core.runahead_commit_stall) /
                   double(r.core.cycles)

@@ -3,6 +3,7 @@
  * MSHR-count ablation: DVR's MLP is bounded by the L1D MSHRs (the
  * paper's Table 1 gives 24). Sweeping 8/16/24/48 shows how the
  * speedup and achieved MLP scale with outstanding-miss capacity.
+ * The OoO baseline is re-run per MSHR count (its IPC depends on it).
  */
 
 #include "bench_common.hh"
@@ -22,6 +23,15 @@ main()
     std::vector<std::string> specs = {"bfs/KR", "sssp/KR", "camel",
                                       "kangaroo", "hj8"};
 
+    std::vector<ConfigVariant> variants;
+    for (uint32_t m : mshrs)
+        variants.push_back({"mshrs=" + std::to_string(m),
+                            [m](SystemConfig &c) { c.l1d.mshrs = m; }});
+
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::OoO, Technique::Dvr}, variants);
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(16) << "benchmark";
     for (uint32_t m : mshrs)
         std::cout << std::right << std::setw(9)
@@ -32,16 +42,9 @@ main()
     for (const auto &spec : specs) {
         std::printf("%-16s", spec.c_str());
         for (uint32_t m : mshrs) {
-            SystemConfig cfg = env.cfg;
-            cfg.l1d.mshrs = m;
-            SimResult base = runSimulation(spec, Technique::OoO, cfg,
-                                           env.gscale, env.hscale,
-                                           env.roi + env.warmup,
-                                           env.warmup);
-            SimResult r = runSimulation(spec, Technique::Dvr, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
+            const std::string var = "mshrs=" + std::to_string(m);
+            const SimResult &base = table.at(spec, Technique::OoO, var);
+            const SimResult &r = table.at(spec, Technique::Dvr, var);
             std::printf("%9.3f %8.1f", r.ipc() / base.ipc(), r.mlp);
         }
         std::printf("\n");

@@ -4,44 +4,16 @@
  * with GPU-style reconvergence versus VR-style lane invalidation, on
  * the workloads with data-dependent control flow inside the chain
  * (bc's two divergent paths, bfs/sssp's visited checks, hj's chain
- * walks).
+ * walks). The two DVR flavours are technique columns with a
+ * DvrFeatures override, so the whole comparison is one plan.
  */
 
 #include "bench_common.hh"
 
 #include <iomanip>
 
-#include "core/ooo_core.hh"
-#include "runahead/dvr.hh"
-
 using namespace vrsim;
 using namespace vrsim::bench;
-
-namespace
-{
-
-SimResult
-runWithFeatures(const BenchEnv &env, const std::string &spec,
-                DvrFeatures f)
-{
-    Workload w = makeWorkload(spec, env.gscale, env.hscale);
-    SystemConfig cfg = env.cfg;
-    cfg.technique = Technique::Dvr;
-    MemoryHierarchy hier(cfg, w.image);
-    DecoupledVectorRunahead dvr(cfg, w.prog, w.image, hier, f);
-    OooCore core(cfg, w.prog, w.image, hier, &dvr);
-    SimResult res;
-    res.workload = w.name;
-    res.technique = Technique::Dvr;
-    res.core = core.run(w.init, env.roi + env.warmup, env.warmup,
-                        nullptr);
-    res.mem = hier.stats();
-    res.mlp = hier.mlp(res.core.cycles);
-    res.dvr = dvr.stats();
-    return res;
-}
-
-} // namespace
 
 int
 main()
@@ -53,19 +25,26 @@ main()
     std::vector<std::string> specs = {"bc/KR", "bfs/KR", "sssp/KR",
                                       "hj2", "hj8", "graph500"};
 
+    DvrFeatures inval = DvrFeatures::full();
+    inval.reconverge = false;
+
+    RunPlan plan = env.plan();
+    plan.add(specs,
+             {Technique::OoO,
+              TechColumn(Technique::Dvr, "invalidate", inval),
+              TechColumn(Technique::Dvr, "reconverge",
+                         DvrFeatures::full())});
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(12) << "benchmark"
               << std::right << std::setw(14) << "invalidate"
               << std::setw(14) << "reconverge" << std::setw(12)
               << "divergences" << "\n";
 
     for (const auto &spec : specs) {
-        SimResult base = env.run(spec, Technique::OoO);
-
-        DvrFeatures inval = DvrFeatures::full();
-        inval.reconverge = false;
-        SimResult a = runWithFeatures(env, spec, inval);
-        SimResult b = runWithFeatures(env, spec, DvrFeatures::full());
-
+        const SimResult &base = table.at(spec, Technique::OoO);
+        const SimResult &a = table.at(spec, "invalidate");
+        const SimResult &b = table.at(spec, "reconverge");
         std::printf("%-12s %13.3f %13.3f %11llu\n", spec.c_str(),
                     a.ipc() / base.ipc(), b.ipc() / base.ipc(),
                     (unsigned long long)b.dvr->divergences);

@@ -4,6 +4,7 @@
  * detector (460 bytes); sweeping 4/8/16/32/64 entries shows how much
  * table pressure the benchmarks generate (kernels with several
  * concurrent stride streams thrash small tables and lose triggers).
+ * The OoO baseline ignores the RPT, so it runs once per spec.
  */
 
 #include "bench_common.hh"
@@ -23,6 +24,18 @@ main()
     std::vector<std::string> specs = {"bfs/KR", "sssp/KR", "nas-cg",
                                       "camel", "graph500"};
 
+    std::vector<ConfigVariant> variants;
+    for (uint32_t n : sizes)
+        variants.push_back({std::to_string(n) + "e",
+                            [n](SystemConfig &c) {
+                                c.runahead.stride_entries = n;
+                            }});
+
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::Dvr}, variants);
+    plan.add(specs, {Technique::OoO});
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(12) << "benchmark";
     for (uint32_t n : sizes)
         std::cout << std::right << std::setw(10)
@@ -30,15 +43,12 @@ main()
     std::cout << "\n";
 
     for (const auto &spec : specs) {
-        SimResult base = env.run(spec, Technique::OoO);
+        const SimResult &base = table.at(spec, Technique::OoO);
         std::printf("%-12s", spec.c_str());
         for (uint32_t n : sizes) {
-            SystemConfig cfg = env.cfg;
-            cfg.runahead.stride_entries = n;
-            SimResult r = runSimulation(spec, Technique::Dvr, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
+            const SimResult &r =
+                table.at(spec, Technique::Dvr,
+                         std::to_string(n) + "e");
             std::printf("%10.3f", r.ipc() / base.ipc());
         }
         std::printf("\n");

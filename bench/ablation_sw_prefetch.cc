@@ -4,7 +4,8 @@
  * hand-augmented with staged software prefetches (Ainsworth & Jones,
  * CGO 2017) versus the microarchitectural techniques. SW prefetching
  * covers the index stream and the first indirection but not the
- * final level, and costs extra µops in the main thread.
+ * final level, and costs extra µops in the main thread. The plan has
+ * two grids because camel-swpf only runs under OoO and DVR.
  */
 
 #include "bench_common.hh"
@@ -18,11 +19,16 @@ main()
     BenchEnv env = BenchEnv::fromEnv();
     printHeader("Ablation: software prefetching vs runahead", env);
 
-    SimResult base = env.run("camel", Technique::OoO);
-    SimResult sw = env.run("camel-swpf", Technique::OoO);
-    SimResult vr = env.run("camel", Technique::Vr);
-    SimResult dvr = env.run("camel", Technique::Dvr);
-    SimResult both = env.run("camel-swpf", Technique::Dvr);
+    RunPlan plan = env.plan();
+    plan.add({"camel"}, {Technique::OoO, Technique::Vr, Technique::Dvr});
+    plan.add({"camel-swpf"}, {Technique::OoO, Technique::Dvr});
+    ResultTable table = env.sweep(plan);
+
+    const SimResult &base = table.at("camel", Technique::OoO);
+    const SimResult &sw = table.at("camel-swpf", Technique::OoO);
+    const SimResult &vr = table.at("camel", Technique::Vr);
+    const SimResult &dvr = table.at("camel", Technique::Dvr);
+    const SimResult &both = table.at("camel-swpf", Technique::Dvr);
 
     // Software prefetching adds µops, so compare per-element time:
     // camel does 33 µops/element, camel-swpf ~48.

@@ -3,7 +3,8 @@
  * Vector-width ablation (paper §6.1 discussion): DVR with 32, 64,
  * 128 and 256 scalar-equivalent lanes. The paper notes NAS-CG/NAS-IS
  * would need 256-element DVR to reach Oracle performance on a large
- * core.
+ * core. Width variants apply only to the DVR column; the OoO and
+ * Oracle anchors run once per spec in a second grid.
  */
 
 #include "bench_common.hh"
@@ -27,6 +28,19 @@ main()
     std::vector<std::string> specs = {"nas-cg", "nas-is", "camel",
                                       "kangaroo", "bfs/KR", "sssp/KR"};
 
+    std::vector<ConfigVariant> variants;
+    for (uint32_t w : widths)
+        variants.push_back({std::to_string(w) + "ln",
+                            [w](SystemConfig &c) {
+                                c.runahead.vector_regs =
+                                    w / c.runahead.lanes_per_vector;
+                            }});
+
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::Dvr}, variants);
+    plan.add(specs, {Technique::OoO, Technique::Oracle});
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(16) << "benchmark";
     for (uint32_t w : widths)
         std::cout << std::right << std::setw(10)
@@ -34,18 +48,15 @@ main()
     std::cout << std::right << std::setw(10) << "Oracle" << "\n";
 
     for (const auto &spec : specs) {
-        SimResult base = env.run(spec, Technique::OoO);
+        const SimResult &base = table.at(spec, Technique::OoO);
         std::printf("%-16s", spec.c_str());
-        for (uint32_t wdt : widths) {
-            SystemConfig cfg = env.cfg;
-            cfg.runahead.vector_regs = wdt / cfg.runahead.lanes_per_vector;
-            SimResult r = runSimulation(spec, Technique::Dvr, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
+        for (uint32_t w : widths) {
+            const SimResult &r =
+                table.at(spec, Technique::Dvr,
+                         std::to_string(w) + "ln");
             std::printf("%10.3f", r.ipc() / base.ipc());
         }
-        SimResult orc = env.run(spec, Technique::Oracle);
+        const SimResult &orc = table.at(spec, Technique::Oracle);
         std::printf("%10.3f\n", orc.ipc() / base.ipc());
     }
     return 0;

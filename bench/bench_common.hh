@@ -1,8 +1,11 @@
 /**
  * @file
  * Shared scaffolding for the per-figure experiment binaries: scaled
- * inputs (overridable via environment), the technique list, and
- * uniform header printing.
+ * inputs (overridable via environment), plan construction and sweep
+ * execution, and uniform header printing. Figure binaries declare a
+ * RunPlan grid, hand it to the SweepRunner (parallel under
+ * VRSIM_JOBS), and render their table from the ResultTable — no
+ * binary runs simulations in hand-rolled loops.
  *
  * Environment knobs:
  *   VRSIM_NODES   graph nodes (default 16384)
@@ -11,48 +14,40 @@
  *   VRSIM_ROI     instruction budget per run (default 150000)
  *   VRSIM_WARMUP  leading instructions excluded from stats
  *                 (default 25000; caches/predictors stay warm)
+ *   VRSIM_JOBS    sweep worker threads (default 1; 0 = all cores)
  */
 
 #ifndef VRSIM_BENCH_COMMON_HH
 #define VRSIM_BENCH_COMMON_HH
 
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "driver/simulation.hh"
+#include "driver/plan.hh"
+#include "driver/sweep_runner.hh"
+#include "sim/parse.hh"
 
 namespace vrsim::bench
 {
 
+/**
+ * Strict environment parsing for experiment binaries: a typo'd value
+ * silently parsing to 0 would flip e.g. VRSIM_ROI into
+ * unlimited-budget mode. Exits rather than throwing: the experiment
+ * binaries have no try/catch in main, and an uncaught FatalError
+ * would abort with a core dump where a one-line diagnostic is wanted.
+ */
 inline uint64_t
 envU64(const char *name, uint64_t dflt)
 {
-    const char *v = std::getenv(name);
-    if (!v)
-        return dflt;
-    // A typo'd value silently parsing to 0 would flip e.g. VRSIM_ROI
-    // into unlimited-budget mode; reject it loudly instead. Exit
-    // rather than throw: the experiment binaries have no try/catch in
-    // main, and an uncaught FatalError would abort with a core dump
-    // where a one-line diagnostic is wanted.
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 0);
-    if (end == v || *end != '\0' || std::strchr(v, '-')) {
-        std::cerr << "fatal: invalid value for " << name << ": '" << v
-                  << "' (expected a non-negative integer)\n";
+    try {
+        return vrsim::envU64(name, dflt);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
         std::exit(1);
     }
-    if (errno == ERANGE) {
-        std::cerr << "fatal: value for " << name << " out of range: '"
-                  << v << "'\n";
-        std::exit(1);
-    }
-    return parsed;
 }
 
 /** Scaled-input environment shared by all experiment binaries. */
@@ -76,21 +71,32 @@ struct BenchEnv
         return e;
     }
 
-    /**
-     * Fault-isolated run: a failed (fatal/panic/hang) combination is
-     * warned about and reported with zeroed statistics instead of
-     * aborting the whole experiment binary mid-table.
-     */
-    SimResult
-    run(const std::string &spec, Technique t) const
+    /** An empty plan carrying this environment's config and scales. */
+    RunPlan
+    plan() const
     {
-        SimResult r = runSimulationGuarded(spec, t, cfg, gscale,
-                                           hscale, roi + warmup,
-                                           warmup);
-        if (!r.ok())
-            warn(spec + " under " + techniqueName(t) + " failed (" +
-                 simStatusName(r.status) + "): " + r.status_message);
-        return r;
+        RunPlan p(cfg);
+        p.scale(gscale, hscale).roi(roi).warmup(warmup);
+        return p;
+    }
+
+    /**
+     * Execute @p plan with the worker count VRSIM_JOBS asks for.
+     * Fault-isolated: a failed (fatal/panic/hang) point is warned
+     * about and carries zeroed statistics instead of aborting the
+     * whole experiment binary mid-table.
+     */
+    ResultTable
+    sweep(const RunPlan &p) const
+    {
+        SweepOptions opts;
+        opts.jobs = 0;  // resolve from VRSIM_JOBS
+        try {
+            return SweepRunner(opts).run(p);
+        } catch (const FatalError &e) {
+            std::cerr << e.what() << "\n";
+            std::exit(1);
+        }
     }
 };
 

@@ -27,6 +27,10 @@ main()
     for (const auto &n : hpcDbNames())
         specs.push_back(n);
 
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::OoO, Technique::Vr, Technique::Dvr});
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(16) << "benchmark"
               << std::right << std::setw(10) << "VR-main"
               << std::setw(10) << "VR-ra" << std::setw(10) << "VR-tot"
@@ -35,10 +39,10 @@ main()
 
     double vr_tot_sum = 0, dvr_tot_sum = 0;
     for (const auto &spec : specs) {
-        SimResult base = env.run(spec, Technique::OoO);
+        const SimResult &base = table.at(spec, Technique::OoO);
         double denom = double(std::max<uint64_t>(1, base.mem.dramTotal()));
-        SimResult vr = env.run(spec, Technique::Vr);
-        SimResult dvr = env.run(spec, Technique::Dvr);
+        const SimResult &vr = table.at(spec, Technique::Vr);
+        const SimResult &dvr = table.at(spec, Technique::Dvr);
 
         double vm = vr.dramMain() / denom;
         double vr_ra = vr.dramRunahead() / denom;

@@ -27,13 +27,17 @@ main()
     for (const auto &n : hpcDbNames())
         specs.push_back(n);
 
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::Dvr});
+    ResultTable table = env.sweep(plan);
+
     std::cout << std::left << std::setw(16) << "benchmark"
               << std::right << std::setw(10) << "L1%" << std::setw(10)
               << "L2%" << std::setw(10) << "L3%" << std::setw(12)
               << "off-chip%" << "\n";
 
     for (const auto &spec : specs) {
-        SimResult r = env.run(spec, Technique::Dvr);
+        const SimResult &r = table.at(spec, Technique::Dvr);
         const MemStats &m = r.mem;
         double total = double(std::max<uint64_t>(1, m.pf_lines_filled));
         double l1 = 100.0 * m.pf_used_l1 / total;

@@ -25,25 +25,29 @@ main()
     for (const auto &n : hpcDbNames())
         specs.push_back(n);
 
+    std::vector<ConfigVariant> variants;
+    for (uint32_t rob : robs)
+        variants.push_back({"rob=" + std::to_string(rob),
+                            [rob](SystemConfig &c) {
+                                c.core.rob_size = rob;
+                            }});
+
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::OoO, Technique::Dvr}, variants);
+    ResultTable table = env.sweep(plan);
+
     // Baselines at ROB=350.
     std::vector<double> base_ipc;
     for (const auto &s : specs)
-        base_ipc.push_back(env.run(s, Technique::OoO).ipc());
+        base_ipc.push_back(table.at(s, Technique::OoO, "rob=350").ipc());
 
     std::cout << "ROB     OoO-IPCn    DVR-IPCn    DVR/OoO\n";
     for (uint32_t rob : robs) {
-        SystemConfig cfg = env.cfg;
-        cfg.core.rob_size = rob;
+        const std::string var = "rob=" + std::to_string(rob);
         std::vector<double> ooo_n, dvr_n, ratio;
         for (size_t i = 0; i < specs.size(); i++) {
-            SimResult o = runSimulation(specs[i], Technique::OoO, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
-            SimResult d = runSimulation(specs[i], Technique::Dvr, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
+            const SimResult &o = table.at(specs[i], Technique::OoO, var);
+            const SimResult &d = table.at(specs[i], Technique::Dvr, var);
             ooo_n.push_back(o.ipc() / base_ipc[i]);
             dvr_n.push_back(d.ipc() / base_ipc[i]);
             ratio.push_back(d.ipc() / o.ipc());

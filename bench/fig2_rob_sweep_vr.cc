@@ -20,15 +20,24 @@ main()
 
     const uint32_t robs[] = {128, 192, 224, 350, 512};
 
-    // Baseline: 350-entry OoO per benchmark.
-    std::vector<std::string> specs = gapBenchmarkSpecs();
     // Keep the sweep tractable: use the KR and UR inputs (the paper's
     // extremes) for every kernel.
-    specs.clear();
+    std::vector<std::string> specs;
     for (const auto &k : gapKernelNames()) {
         specs.push_back(k + "/KR");
         specs.push_back(k + "/UR");
     }
+
+    std::vector<ConfigVariant> variants;
+    for (uint32_t rob : robs)
+        variants.push_back({"rob=" + std::to_string(rob),
+                            [rob](SystemConfig &c) {
+                                c.core.rob_size = rob;
+                            }});
+
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::OoO, Technique::Vr}, variants);
+    ResultTable table = env.sweep(plan);
 
     std::cout << "rows: ROB size; cells: h-mean speedup vs OoO-350, "
                  "and %cycles dispatch-stalled on full ROB (OoO)\n\n";
@@ -38,22 +47,15 @@ main()
     // Per-benchmark baseline IPCs at ROB=350.
     std::vector<double> base_ipc;
     for (const auto &s : specs)
-        base_ipc.push_back(env.run(s, Technique::OoO).ipc());
+        base_ipc.push_back(table.at(s, Technique::OoO, "rob=350").ipc());
 
     for (uint32_t rob : robs) {
-        SystemConfig cfg = env.cfg;
-        cfg.core.rob_size = rob;
+        const std::string var = "rob=" + std::to_string(rob);
         std::vector<double> ooo_n, vr_n;
         double stall_frac = 0;
         for (size_t i = 0; i < specs.size(); i++) {
-            SimResult o = runSimulation(specs[i], Technique::OoO, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
-            SimResult v = runSimulation(specs[i], Technique::Vr, cfg,
-                                        env.gscale, env.hscale,
-                                        env.roi + env.warmup,
-                                        env.warmup);
+            const SimResult &o = table.at(specs[i], Technique::OoO, var);
+            const SimResult &v = table.at(specs[i], Technique::Vr, var);
             ooo_n.push_back(o.ipc() / base_ipc[i]);
             vr_n.push_back(v.ipc() / base_ipc[i]);
             stall_frac += o.core.cycles

@@ -24,6 +24,13 @@ main()
         Technique::Pre, Technique::Imp, Technique::Vr, Technique::Dvr,
         Technique::Oracle,
     };
+
+    RunPlan plan = env.plan();
+    plan.add(allBenchmarkSpecs(),
+             {Technique::OoO, Technique::Pre, Technique::Imp,
+              Technique::Vr, Technique::Dvr, Technique::Oracle});
+    ResultTable table = env.sweep(plan);
+
     std::vector<std::string> cols;
     for (Technique t : techs)
         cols.push_back(techniqueName(t));
@@ -33,10 +40,10 @@ main()
     std::vector<std::vector<double>> per_tech(techs.size());
 
     for (const std::string &spec : allBenchmarkSpecs()) {
-        SimResult base = env.run(spec, Technique::OoO);
+        const SimResult &base = table.at(spec, Technique::OoO);
         std::vector<double> row;
         for (size_t t = 0; t < techs.size(); t++) {
-            SimResult r = env.run(spec, techs[t]);
+            const SimResult &r = table.at(spec, techs[t]);
             double speedup = base.ipc() > 0 ? r.ipc() / base.ipc() : 0;
             row.push_back(speedup);
             per_tech[t].push_back(speedup);

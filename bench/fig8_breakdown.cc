@@ -29,15 +29,21 @@ main()
     for (const auto &n : hpcDbNames())
         specs.push_back(n);
 
+    RunPlan plan = env.plan();
+    plan.add(specs,
+             {Technique::OoO, Technique::Vr, Technique::DvrOffload,
+              Technique::DvrDiscovery, Technique::Dvr});
+    ResultTable table = env.sweep(plan);
+
     std::vector<std::string> rows;
     std::vector<std::vector<double>> cells;
     std::vector<std::vector<double>> per_step(steps.size());
 
     for (const auto &spec : specs) {
-        SimResult base = env.run(spec, Technique::OoO);
+        const SimResult &base = table.at(spec, Technique::OoO);
         std::vector<double> row;
         for (size_t s = 0; s < steps.size(); s++) {
-            SimResult r = env.run(spec, steps[s]);
+            const SimResult &r = table.at(spec, steps[s]);
             double x = base.ipc() > 0 ? r.ipc() / base.ipc() : 0;
             row.push_back(x);
             per_step[s].push_back(x);

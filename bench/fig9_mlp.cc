@@ -26,6 +26,10 @@ main()
     for (const auto &n : hpcDbNames())
         specs.push_back(n);
 
+    RunPlan plan = env.plan();
+    plan.add(specs, {Technique::OoO, Technique::Vr, Technique::Dvr});
+    ResultTable table = env.sweep(plan);
+
     std::vector<std::string> rows;
     std::vector<std::vector<double>> cells;
     std::vector<double> sums(techs.size(), 0.0);
@@ -33,7 +37,7 @@ main()
     for (const auto &spec : specs) {
         std::vector<double> row;
         for (size_t t = 0; t < techs.size(); t++) {
-            SimResult r = env.run(spec, techs[t]);
+            const SimResult &r = table.at(spec, techs[t]);
             row.push_back(r.mlp);
             sums[t] += r.mlp;
         }

@@ -12,6 +12,7 @@
 #include "frontend/branch_predictor.hh"
 #include "mem/hierarchy.hh"
 #include "sim/rng.hh"
+#include "workloads/workload_cache.hh"
 
 using namespace vrsim;
 
@@ -85,14 +86,44 @@ BM_KroneckerGeneration(benchmark::State &state)
 BENCHMARK(BM_KroneckerGeneration);
 
 void
+BM_WorkloadBuild(benchmark::State &state)
+{
+    HpcDbScale hs;
+    hs.elements = 1 << 14;
+    for (auto _ : state) {
+        Workload w = makeWorkload("kangaroo", GraphScale{}, hs);
+        benchmark::DoNotOptimize(w.image);
+    }
+}
+BENCHMARK(BM_WorkloadBuild);
+
+void
+BM_WorkloadInstantiate(benchmark::State &state)
+{
+    // The per-run cost a sweep pays after the one-time build: copying
+    // the cached artifact's memory image. Compare with
+    // BM_WorkloadBuild to see what the cache saves per grid point.
+    WorkloadCache cache;
+    HpcDbScale hs;
+    hs.elements = 1 << 14;
+    cache.artifact("kangaroo", GraphScale{}, hs);
+    for (auto _ : state) {
+        Workload w = cache.instantiate("kangaroo", GraphScale{}, hs);
+        benchmark::DoNotOptimize(w.image);
+    }
+}
+BENCHMARK(BM_WorkloadInstantiate);
+
+void
 BM_EndToEndDvr(benchmark::State &state)
 {
     SystemConfig cfg = SystemConfig::benchScale();
     HpcDbScale hs;
     hs.elements = 1 << 14;
+    WorkloadCache cache;
     for (auto _ : state) {
-        SimResult r = runSimulation("kangaroo", Technique::Dvr, cfg,
-                                    GraphScale{}, hs, 20'000);
+        Workload w = cache.instantiate("kangaroo", GraphScale{}, hs);
+        SimResult r = runWorkload(w, Technique::Dvr, cfg, 20'000);
         benchmark::DoNotOptimize(r.core.cycles);
     }
     state.SetItemsProcessed(int64_t(state.iterations()) * 20'000);

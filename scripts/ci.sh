@@ -1,23 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build and run the unit/integration test suite twice —
-# once plain, once under AddressSanitizer + UBSan (VRSIM_SANITIZE,
-# see CMakeLists.txt). Bench smoke tests are included in both; the
-# full figure sweeps live in scripts/run_all.sh.
+# Tier-1 CI gate: build and run the unit/integration test suite three
+# ways — plain (with VRSIM_JOBS=2 so every sweep-driven test exercises
+# the parallel executor), under AddressSanitizer + UBSan, and under
+# ThreadSanitizer for the concurrency-bearing subset (sweep runner,
+# workload cache) (VRSIM_SANITIZE, see CMakeLists.txt). Bench smoke
+# tests are included; the full figure sweeps live in
+# scripts/run_all.sh.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
 JOBS="${1:-$(nproc)}"
 cd "$(dirname "$0")/.."
 
-echo "=== plain build ==="
+echo "=== plain build (VRSIM_JOBS=2) ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j "$JOBS"
-ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+VRSIM_JOBS=2 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo "=== sanitized build (ASan + UBSan) ==="
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DVRSIM_SANITIZE=ON
+    -DVRSIM_SANITIZE=address
 cmake --build build-ci-asan -j "$JOBS"
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
-echo "ci: both configurations passed"
+echo "=== sanitized build (TSan: sweep runner + workload cache) ==="
+cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVRSIM_SANITIZE=tsan
+cmake --build build-ci-tsan -j "$JOBS" \
+    --target driver_sweep_runner_test workloads_cache_test
+VRSIM_JOBS=4 ctest --test-dir build-ci-tsan --output-on-failure \
+    -j "$JOBS" -R 'SweepRunner|RunPlan|ResultTable|WorkloadCache'
+
+echo "ci: all three configurations passed"

@@ -193,9 +193,24 @@ printReport(std::ostream &os, const SimResult &r,
 void
 CsvWriter::row(const SimResult &r)
 {
+    emit(r, nullptr);
+}
+
+void
+CsvWriter::row(const SimResult &r, const std::string &point_id)
+{
+    emit(r, &point_id);
+}
+
+void
+CsvWriter::emit(const SimResult &r, const std::string *point_id)
+{
     StatGroup g = toStatGroup(r);
     if (!wrote_header_) {
         wrote_header_ = true;
+        with_point_ = point_id != nullptr;
+        if (with_point_)
+            os_ << "point,";
         os_ << "workload,technique,status,message";
         for (const auto &kv : g.all()) {
             columns_.push_back(kv.first);
@@ -203,17 +218,99 @@ CsvWriter::row(const SimResult &r)
         }
         os_ << "\n";
     }
+    panicIfNot(with_point_ == (point_id != nullptr),
+               "CsvWriter: mixing point-labelled and plain rows");
     // The diagnostic message may contain the CSV separator; keep the
     // row machine-parsable.
     std::string msg = r.status_message;
     for (char &c : msg)
         if (c == ',' || c == '\n')
             c = ';';
+    if (with_point_)
+        os_ << *point_id << ",";
     os_ << r.workload << "," << techniqueName(r.technique) << ","
         << simStatusName(r.status) << "," << msg;
     for (const auto &col : columns_)
         os_ << "," << (g.has(col) ? g.value(col) : 0.0);
     os_ << "\n";
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+jsonObject(std::ostream &os, const SimResult &r, const char *indent)
+{
+    os << indent << "{\n";
+    os << indent << "  \"workload\": \"" << jsonEscape(r.workload)
+       << "\",\n";
+    os << indent << "  \"technique\": \""
+       << jsonEscape(techniqueName(r.technique)) << "\",\n";
+    os << indent << "  \"status\": \"" << simStatusName(r.status)
+       << "\",\n";
+    os << indent << "  \"message\": \"" << jsonEscape(r.status_message)
+       << "\",\n";
+    os << indent << "  \"stats\": {";
+    StatGroup g = toStatGroup(r);
+    bool first = true;
+    for (const auto &kv : g.all()) {
+        os << (first ? "\n" : ",\n") << indent << "    \"" << kv.first
+           << "\": " << kv.second.value();
+        first = false;
+    }
+    os << "\n" << indent << "  }\n";
+    os << indent << "}";
+}
+
+} // namespace
+
+void
+printJson(std::ostream &os, const SimResult &r)
+{
+    // Full double precision so downstream tooling round-trips values.
+    auto prec = os.precision(15);
+    jsonObject(os, r, "");
+    os << "\n";
+    os.precision(prec);
+}
+
+void
+printJson(std::ostream &os, const std::vector<SimResult> &results)
+{
+    auto prec = os.precision(15);
+    os << "[\n";
+    for (size_t i = 0; i < results.size(); i++) {
+        jsonObject(os, results[i], "  ");
+        os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    os.precision(prec);
 }
 
 } // namespace vrsim

@@ -27,7 +27,9 @@ void printReport(std::ostream &os, const SimResult &result,
 
 /**
  * CSV writer: header once, then one row per result. Columns are the
- * union of toStatGroup keys, fixed by the first row.
+ * union of toStatGroup keys, fixed by the first row. Rows written
+ * with a point ID (sweep output) gain a leading "point" column so
+ * config-variant rows of the same workload/technique stay separable.
  */
 class CsvWriter
 {
@@ -37,11 +39,27 @@ class CsvWriter
     /** Append one result (writes the header on first use). */
     void row(const SimResult &result);
 
+    /** Append one sweep-point result labelled with its stable ID. */
+    void row(const SimResult &result, const std::string &point_id);
+
   private:
+    void emit(const SimResult &result, const std::string *point_id);
+
     std::ostream &os_;
     std::vector<std::string> columns_;
     bool wrote_header_ = false;
+    bool with_point_ = false;
 };
+
+/**
+ * Machine-readable JSON for one run: status, message, configuration
+ * echo and the full flattened stat set (same keys as the CSV). Used
+ * by `vrsim --format json`.
+ */
+void printJson(std::ostream &os, const SimResult &result);
+
+/** A JSON array of results (one sweep). */
+void printJson(std::ostream &os, const std::vector<SimResult> &results);
 
 } // namespace vrsim
 

@@ -18,21 +18,12 @@ simStatusName(SimStatus s)
     panic("unknown SimStatus");
 }
 
-namespace
-{
-
-/**
- * Run @p body, folding the error taxonomy into the result record so
- * sweeps continue past the failure. @p workload/@p technique label
- * the failed record even when the body never produced one.
- */
-template <typename Body>
 SimResult
-guarded(const std::string &workload, Technique technique,
-        const Body &body)
+runGuarded(const std::string &workload_name, Technique technique,
+           const std::function<SimResult()> &body)
 {
     SimResult failed;
-    failed.workload = workload;
+    failed.workload = workload_name;
     failed.technique = technique;
     try {
         return body();
@@ -49,11 +40,10 @@ guarded(const std::string &workload, Technique technique,
     return failed;
 }
 
-} // namespace
-
 SimResult
 runWorkload(Workload &w, Technique technique, SystemConfig cfg,
-            uint64_t max_insts, uint64_t warmup_insts)
+            uint64_t max_insts, uint64_t warmup_insts,
+            const DvrFeatures *dvr_features)
 {
     cfg.technique = technique;
     MemoryHierarchy hier(cfg, w.image);
@@ -86,6 +76,8 @@ runWorkload(Workload &w, Technique technique, SystemConfig cfg,
             : technique == Technique::DvrDiscovery
                 ? DvrFeatures::withDiscovery()
                 : DvrFeatures::full();
+        if (dvr_features)
+            f = *dvr_features;
         auto e = std::make_unique<DecoupledVectorRunahead>(
             cfg, w.prog, w.image, hier, f);
         dvr = e.get();
@@ -135,7 +127,7 @@ SimResult
 runWorkloadGuarded(Workload &w, Technique technique, SystemConfig cfg,
                    uint64_t max_insts, uint64_t warmup_insts)
 {
-    return guarded(w.name, technique, [&] {
+    return runGuarded(w.name, technique, [&] {
         return runWorkload(w, technique, cfg, max_insts, warmup_insts);
     });
 }
@@ -146,7 +138,7 @@ runSimulationGuarded(const std::string &spec, Technique technique,
                      const HpcDbScale &hscale, uint64_t max_insts,
                      uint64_t warmup_insts)
 {
-    return guarded(spec, technique, [&] {
+    return runGuarded(spec, technique, [&] {
         return runSimulation(spec, technique, cfg, gscale, hscale,
                              max_insts, warmup_insts);
     });

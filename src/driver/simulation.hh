@@ -8,6 +8,7 @@
 #ifndef VRSIM_DRIVER_SIMULATION_HH
 #define VRSIM_DRIVER_SIMULATION_HH
 
+#include <functional>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -93,10 +94,13 @@ SimResult runSimulation(const std::string &spec, Technique technique,
  * Run a pre-built workload (used by tests and custom examples).
  * When @p warmup_insts is nonzero, that many leading instructions
  * warm the caches/predictors and are excluded from the statistics.
+ * @p dvr_features overrides the technique-derived DVR feature set
+ * (ablations); ignored for non-DVR techniques.
  */
 SimResult runWorkload(Workload &w, Technique technique,
                       SystemConfig cfg, uint64_t max_insts = 0,
-                      uint64_t warmup_insts = 0);
+                      uint64_t warmup_insts = 0,
+                      const DvrFeatures *dvr_features = nullptr);
 
 /**
  * Fault-isolated variants: any FatalError / PanicError / HangError
@@ -116,6 +120,17 @@ SimResult runSimulationGuarded(const std::string &spec,
                                const HpcDbScale &hscale = HpcDbScale{},
                                uint64_t max_insts = 0,
                                uint64_t warmup_insts = 0);
+
+/**
+ * The fault-isolation primitive behind the Guarded entry points: run
+ * @p body, folding any FatalError / PanicError / HangError into a
+ * failed SimResult labelled @p workload_name / @p technique. Exposed
+ * so custom runners (SweepRunner, bespoke harnesses) get identical
+ * error taxonomy handling.
+ */
+SimResult runGuarded(const std::string &workload_name,
+                     Technique technique,
+                     const std::function<SimResult()> &body);
 
 /** All benchmark-input specs of the paper's Fig. 7 (GAP x 5 inputs +
  *  hpc-db). */

@@ -1,0 +1,101 @@
+#include "driver/sweep_runner.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "sim/parse.hh"
+
+namespace vrsim
+{
+
+unsigned
+SweepRunner::jobsFromEnv(unsigned dflt)
+{
+    uint64_t jobs = envU64("VRSIM_JOBS", dflt);
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (jobs > 4096)
+        fatal("VRSIM_JOBS=" + std::to_string(jobs) +
+              " is absurd (max 4096)");
+    return unsigned(jobs);
+}
+
+SimResult
+SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache)
+{
+    return runGuarded(p.spec, p.technique, [&] {
+        if (p.inject_fail)
+            panic("fault injection requested for " +
+                  techniqueName(p.technique) + " (--inject-fail)");
+        // Instantiate a private copy of the cached build artifact so
+        // stores in this run cannot leak into sibling points.
+        Workload w = cache.instantiate(p.spec, p.gscale, p.hscale);
+        return runWorkload(w, p.technique, p.cfg, p.max_insts,
+                           p.warmup,
+                           p.features ? &*p.features : nullptr);
+    });
+}
+
+ResultTable
+SweepRunner::run(const RunPlan &plan)
+{
+    std::vector<RunPoint> points = plan.points();
+    std::vector<SimResult> results(points.size());
+    WorkloadCache &cache =
+        opts_.cache ? *opts_.cache : WorkloadCache::process();
+
+    unsigned jobs = opts_.jobs ? opts_.jobs : jobsFromEnv();
+    jobs = unsigned(
+        std::min<size_t>(jobs, std::max<size_t>(1, points.size())));
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    const bool progress = opts_.progress;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            const RunPoint &p = points[i];
+            // Tag this thread's warn()/inform() lines with the point
+            // so interleaved diagnostics stay attributable.
+            setLogContext(p.id());
+            SimResult r = runPoint(p, cache);
+            setLogContext("");
+            size_t n = done.fetch_add(1) + 1;
+            if (!r.ok())
+                warn(p.id() + " failed (" + simStatusName(r.status) +
+                     "): " + r.status_message);
+            if (progress) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "IPC %.3f", r.ipc());
+                inform("[" + std::to_string(n) + "/" +
+                       std::to_string(points.size()) + "] " + p.id() +
+                       " " + simStatusName(r.status) +
+                       (r.ok() ? " " + std::string(buf) : ""));
+            }
+            // Results land at the point's plan index: the table order
+            // (and all rendered output) is independent of job count
+            // and completion order.
+            results[i] = std::move(r);
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; t++)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    return ResultTable(std::move(points), std::move(results));
+}
+
+} // namespace vrsim

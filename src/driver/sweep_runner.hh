@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parallel, fault-isolated executor for RunPlans: a worker pool runs
+ * guarded grid points concurrently (VRSIM_JOBS / --jobs, default 1),
+ * shares one workload cache so each spec is built exactly once per
+ * process, streams per-point progress to stderr, and returns results
+ * in plan order — byte-identical output regardless of job count.
+ */
+
+#ifndef VRSIM_DRIVER_SWEEP_RUNNER_HH
+#define VRSIM_DRIVER_SWEEP_RUNNER_HH
+
+#include "driver/plan.hh"
+#include "workloads/workload_cache.hh"
+
+namespace vrsim
+{
+
+/** Knobs for one sweep execution. */
+struct SweepOptions
+{
+    /**
+     * Worker threads. 0 = resolve from the VRSIM_JOBS environment
+     * variable (default 1; VRSIM_JOBS=0 means hardware concurrency).
+     */
+    unsigned jobs = 0;
+
+    /** Stream one "[done/total] id status" line per point to stderr. */
+    bool progress = true;
+
+    /** Workload cache to share; null = the process-wide cache. */
+    WorkloadCache *cache = nullptr;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Execute every point of @p plan, fault-isolated: a fatal/panic/
+     * hang point becomes a status-carrying result (and a warn line)
+     * while its siblings run to completion. Deterministic: the result
+     * table is in plan order and each point's simulation is
+     * single-threaded and seeded per point, so any job count produces
+     * identical tables.
+     */
+    ResultTable run(const RunPlan &plan);
+
+    /** Run one already-resolved point (bypasses the pool; tests). */
+    static SimResult runPoint(const RunPoint &point,
+                              WorkloadCache &cache);
+
+    /**
+     * Worker count the environment asks for: strict-parsed VRSIM_JOBS
+     * (absent -> @p dflt, 0 -> hardware concurrency).
+     */
+    static unsigned jobsFromEnv(unsigned dflt = 1);
+
+  private:
+    SweepOptions opts_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_DRIVER_SWEEP_RUNNER_HH

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -104,18 +105,71 @@ fatal(const std::string &msg)
     throw FatalError("fatal: " + msg);
 }
 
+namespace log_detail
+{
+
+/** One process-wide mutex so concurrent sweep workers cannot
+ *  interleave half-lines on stderr. */
+inline std::mutex &
+mutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Per-thread tag naming the sweep point this thread is running. */
+inline std::string &
+tag()
+{
+    thread_local std::string t;
+    return t;
+}
+
+} // namespace log_detail
+
+/**
+ * Label all warn()/inform() output of the calling thread with @p tag
+ * (the sweep-point ID while a SweepRunner worker executes a point).
+ * An empty tag restores untagged output.
+ */
+inline void
+setLogContext(std::string tag)
+{
+    log_detail::tag() = std::move(tag);
+}
+
+/** The calling thread's current log tag ("" when unset). */
+inline const std::string &
+logContext()
+{
+    return log_detail::tag();
+}
+
+/** Serialized, context-tagged line writer behind warn()/inform(). */
+inline void
+logLine(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(log_detail::mutex());
+    const std::string &tag = log_detail::tag();
+    if (tag.empty())
+        std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    else
+        std::fprintf(stderr, "%s: [%s] %s\n", prefix, tag.c_str(),
+                     msg.c_str());
+}
+
 /** Report suspicious but survivable conditions. */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logLine("warn", msg);
 }
 
 /** Report normal operational status. */
 inline void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logLine("info", msg);
 }
 
 /** panic() unless the condition holds. */

@@ -1,0 +1,48 @@
+#include "sim/parse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+uint64_t
+parseU64(const std::string &what, const char *s)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal("invalid value for " + what + ": '" + s +
+              "' (expected a non-negative integer)");
+    if (errno == ERANGE)
+        fatal("value for " + what + " out of range: '" + s + "'");
+    // strtoull wraps negatives into huge positives; reject them.
+    if (std::strchr(s, '-'))
+        fatal("invalid value for " + what + ": '" + s +
+              "' (negative values are not allowed)");
+    return v;
+}
+
+uint32_t
+parseU32(const std::string &what, const char *s)
+{
+    uint64_t v = parseU64(what, s);
+    if (v > UINT32_MAX)
+        fatal("value for " + what + " out of range: '" + s + "'");
+    return uint32_t(v);
+}
+
+uint64_t
+envU64(const char *name, uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return dflt;
+    return parseU64(name, v);
+}
+
+} // namespace vrsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict numeric parsing shared by every CLI flag and VRSIM_* knob.
+ *
+ * strtoull's silent-zero on garbage would e.g. turn `--roi garbage`
+ * or `VRSIM_ROI=garbage` into an unlimited-budget run; these helpers
+ * reject non-numeric, trailing-junk, negative and overflowing values
+ * with the offending flag/variable named, via fatal() so callers can
+ * map the failure onto their usual FatalError handling.
+ */
+
+#ifndef VRSIM_SIM_PARSE_HH
+#define VRSIM_SIM_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vrsim
+{
+
+/**
+ * Parse @p s as a non-negative integer. @p what names the flag or
+ * environment variable in the diagnostic. Throws FatalError on
+ * anything but a clean, in-range, non-negative value.
+ */
+uint64_t parseU64(const std::string &what, const char *s);
+
+/** parseU64 restricted to the uint32_t range. */
+uint32_t parseU32(const std::string &what, const char *s);
+
+/**
+ * Read environment variable @p name as a strict non-negative integer,
+ * returning @p dflt when unset. Throws FatalError on malformed values
+ * (a typo must not silently fall back to the default).
+ */
+uint64_t envU64(const char *name, uint64_t dflt);
+
+} // namespace vrsim
+
+#endif // VRSIM_SIM_PARSE_HH

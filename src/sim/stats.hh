@@ -57,6 +57,18 @@ class Average
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** One self-describing line: "name mean (desc, N samples)". */
+    void
+    dump(std::ostream &os) const
+    {
+        os << name_ << " " << mean();
+        if (!desc_.empty())
+            os << " # " << desc_;
+        os << " (" << count_ << " samples)\n";
+    }
+
     void reset() { sum_ = 0.0; count_ = 0; }
 
   private:
@@ -95,7 +107,28 @@ class Histogram
 
     uint64_t total() const { return total_; }
     double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
+    const std::string &name() const { return name_; }
+    double bucketWidth() const { return width_; }
     const std::vector<uint64_t> &buckets() const { return counts_; }
+
+    /**
+     * Attributable dump: every line carries the histogram's name, so
+     * several histograms can share one stream and stay separable.
+     */
+    void
+    dump(std::ostream &os) const
+    {
+        os << name_ << ".mean " << mean() << "\n";
+        os << name_ << ".total " << total_ << "\n";
+        for (size_t i = 0; i < counts_.size(); i++) {
+            os << name_ << "[";
+            if (i + 1 == counts_.size())
+                os << width_ * double(i) << "+";
+            else
+                os << width_ * double(i) << "," << width_ * double(i + 1);
+            os << ") " << counts_[i] << "\n";
+        }
+    }
 
     /** Fraction of samples in bucket i. */
     double

@@ -1,0 +1,88 @@
+#include "workloads/workload_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+std::string
+WorkloadCache::key(const std::string &spec, const GraphScale &gscale,
+                   const HpcDbScale &hscale)
+{
+    return spec + "|n=" + std::to_string(gscale.nodes) +
+           "|d=" + std::to_string(gscale.avg_degree) +
+           "|gs=" + std::to_string(gscale.seed) +
+           "|e=" + std::to_string(hscale.elements) +
+           "|hs=" + std::to_string(hscale.seed);
+}
+
+std::shared_ptr<const Workload>
+WorkloadCache::artifact(const std::string &spec,
+                        const GraphScale &gscale,
+                        const HpcDbScale &hscale)
+{
+    const std::string k = key(spec, gscale, hscale);
+
+    std::promise<std::shared_ptr<const Workload>> promise;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto it = slots_.find(k);
+        if (it != slots_.end()) {
+            // Wait outside the lock: a slow build of this key must not
+            // stall unrelated keys.
+            Slot slot = it->second;
+            lock.unlock();
+            return slot.get();  // built, building, or failed
+        }
+        slots_.emplace(k, promise.get_future().share());
+    }
+
+    // Build outside the lock so other keys proceed concurrently;
+    // waiters for this key block on the shared future instead.
+    try {
+        auto built = std::make_shared<const Workload>(
+            makeWorkload(spec, gscale, hscale));
+        builds_.fetch_add(1);
+        promise.set_value(built);
+        return built;
+    } catch (...) {
+        // Propagate the build failure to every waiter, then forget
+        // the slot: a later retry (e.g. after the file appears) must
+        // not be pinned to the stale error.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_.erase(k);
+        throw;
+    }
+}
+
+Workload
+WorkloadCache::instantiate(const std::string &spec,
+                           const GraphScale &gscale,
+                           const HpcDbScale &hscale)
+{
+    return *artifact(spec, gscale, hscale);
+}
+
+size_t
+WorkloadCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+void
+WorkloadCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+}
+
+WorkloadCache &
+WorkloadCache::process()
+{
+    static WorkloadCache cache;
+    return cache;
+}
+
+} // namespace vrsim

@@ -90,6 +90,81 @@ TEST(ReportTest, CsvColumnsStableAcrossTechniques)
     EXPECT_EQ(commas(header), commas(row2));
 }
 
+TEST(ReportTest, CsvPointColumnPrefixesRows)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row(sampleResult(Technique::OoO), "camel:OoO:rob=64");
+    w.row(sampleResult(Technique::Dvr), "camel:DVR");
+    std::istringstream in(os.str());
+    std::string header, row1, row2;
+    std::getline(in, header);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    EXPECT_EQ(header.rfind("point,workload,technique", 0), 0u);
+    EXPECT_EQ(row1.rfind("camel:OoO:rob=64,camel,OoO", 0), 0u);
+    EXPECT_EQ(row2.rfind("camel:DVR,camel,DVR", 0), 0u);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row1));
+}
+
+TEST(ReportTest, CsvMixingPointAndPlainRowsPanics)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row(sampleResult(Technique::OoO), "camel:OoO");
+    EXPECT_THROW(w.row(sampleResult(Technique::OoO)), PanicError);
+}
+
+TEST(ReportTest, JsonSingleResultIsWellFormed)
+{
+    SimResult r = sampleResult(Technique::Dvr);
+    std::ostringstream os;
+    printJson(os, r);
+    const std::string s = os.str();
+    EXPECT_EQ(s.rfind("{", 0), 0u);
+    EXPECT_NE(s.find("\"workload\": \"camel\""), std::string::npos);
+    EXPECT_NE(s.find("\"technique\": \"DVR\""), std::string::npos);
+    EXPECT_NE(s.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(s.find("\"core.ipc\":"), std::string::npos);
+    EXPECT_NE(s.find("\"dvr.spawns\":"), std::string::npos);
+    // Balanced braces (crude well-formedness check).
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+}
+
+TEST(ReportTest, JsonStatusCarriesFailureMessage)
+{
+    SimResult r;
+    r.workload = "camel";
+    r.technique = Technique::Vr;
+    r.status = SimStatus::Panic;
+    r.status_message = "panic: \"quoted\"\nand a newline";
+    std::ostringstream os;
+    printJson(os, r);
+    EXPECT_NE(os.str().find("\"status\": \"panic\""),
+              std::string::npos);
+    // Quotes and newlines in the message must be escaped.
+    EXPECT_NE(os.str().find("\\\"quoted\\\"\\nand a newline"),
+              std::string::npos);
+}
+
+TEST(ReportTest, JsonArrayWrapsResults)
+{
+    std::vector<SimResult> rs = {sampleResult(Technique::OoO),
+                                 sampleResult(Technique::Vr)};
+    std::ostringstream os;
+    printJson(os, rs);
+    const std::string s = os.str();
+    EXPECT_EQ(s.rfind("[", 0), 0u);
+    EXPECT_NE(s.find("\"technique\": \"OoO\""), std::string::npos);
+    EXPECT_NE(s.find("\"technique\": \"VR\""), std::string::npos);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+              std::count(s.begin(), s.end(), ']'));
+}
+
 TEST(ReportTest, HumanReportMentionsKeySections)
 {
     std::ostringstream os;

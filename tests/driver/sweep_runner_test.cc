@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the experiment-plan layer: RunPlan grid enumeration and
+ * point IDs, ResultTable lookup, and the SweepRunner's determinism
+ * (identical tables at any job count) and fault isolation (a failing
+ * point cannot poison its siblings).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "driver/sweep_runner.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+/** A small, fast plan over real workloads. */
+RunPlan
+smallPlan()
+{
+    GraphScale g;
+    g.nodes = 1 << 10;
+    g.avg_degree = 8;
+    HpcDbScale h;
+    h.elements = 1 << 10;
+    RunPlan plan(SystemConfig::benchScale());
+    plan.scale(g, h).roi(4000).warmup(500);
+    return plan;
+}
+
+ResultTable
+sweep(const RunPlan &plan, unsigned jobs, WorkloadCache &cache)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    opts.cache = &cache;
+    return SweepRunner(opts).run(plan);
+}
+
+TEST(RunPlanTest, GridEnumerationOrderAndIds)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel", "kangaroo"}, {Technique::OoO, Technique::Dvr},
+             {{"a", [](SystemConfig &) {}},
+              {"b", [](SystemConfig &) {}}});
+    ASSERT_EQ(plan.size(), 8u);
+    std::vector<RunPoint> pts = plan.points();
+    ASSERT_EQ(pts.size(), 8u);
+    // spec-major, then column, then variant.
+    EXPECT_EQ(pts[0].id(), "camel:OoO:a");
+    EXPECT_EQ(pts[1].id(), "camel:OoO:b");
+    EXPECT_EQ(pts[2].id(), "camel:DVR:a");
+    EXPECT_EQ(pts[3].id(), "camel:DVR:b");
+    EXPECT_EQ(pts[4].id(), "kangaroo:OoO:a");
+    EXPECT_EQ(pts[7].id(), "kangaroo:DVR:b");
+}
+
+TEST(RunPlanTest, BaseVariantHasNoIdSuffix)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"}, {Technique::Vr});
+    EXPECT_EQ(plan.points().at(0).id(), "camel:VR");
+}
+
+TEST(RunPlanTest, VariantTweakAppliesToPointConfig)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"}, {Technique::OoO},
+             {{"rob=64", [](SystemConfig &c) { c.core.rob_size = 64; }},
+              ConfigVariant::base()});
+    std::vector<RunPoint> pts = plan.points();
+    EXPECT_EQ(pts[0].cfg.core.rob_size, 64u);
+    EXPECT_EQ(pts[1].cfg.core.rob_size,
+              SystemConfig::benchScale().core.rob_size);
+}
+
+TEST(RunPlanTest, MultipleGridsUnionIntoOnePlan)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"}, {Technique::OoO, Technique::Dvr});
+    plan.add({"camel-swpf"}, {Technique::OoO});
+    EXPECT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan.points().back().id(), "camel-swpf:OoO");
+}
+
+TEST(RunPlanTest, FeatureOverrideColumnsCarryFeatures)
+{
+    DvrFeatures inval = DvrFeatures::full();
+    inval.reconverge = false;
+    RunPlan plan = smallPlan();
+    plan.add({"camel"},
+             {TechColumn(Technique::Dvr, "invalidate", inval),
+              TechColumn(Technique::Dvr, "reconverge",
+                         DvrFeatures::full())});
+    std::vector<RunPoint> pts = plan.points();
+    ASSERT_TRUE(pts[0].features.has_value());
+    EXPECT_FALSE(pts[0].features->reconverge);
+    ASSERT_TRUE(pts[1].features.has_value());
+    EXPECT_TRUE(pts[1].features->reconverge);
+    EXPECT_EQ(pts[0].id(), "camel:invalidate");
+}
+
+TEST(ResultTableTest, LookupByCellAndMissPanics)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"}, {Technique::OoO});
+    WorkloadCache cache;
+    ResultTable table = sweep(plan, 1, cache);
+    EXPECT_NO_THROW(table.at("camel", Technique::OoO));
+    EXPECT_EQ(table.find("camel", "nope"), nullptr);
+    EXPECT_THROW(table.at("camel", "nope"), PanicError);
+    EXPECT_THROW(table.at("camel", Technique::OoO, "rob=64"),
+                 PanicError);
+}
+
+TEST(ResultTableTest, DuplicatePointPanics)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"}, {Technique::OoO});
+    plan.add({"camel"}, {Technique::OoO});
+    std::vector<RunPoint> pts = plan.points();
+    std::vector<SimResult> results(pts.size());
+    EXPECT_THROW(ResultTable(std::move(pts), std::move(results)),
+                 PanicError);
+}
+
+TEST(SweepRunnerTest, TableIsByteIdenticalAcrossJobCounts)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel", "kangaroo", "hj2"},
+             {Technique::OoO, Technique::Vr, Technique::Dvr});
+
+    WorkloadCache c1, c8;
+    ResultTable serial = sweep(plan, 1, c1);
+    ResultTable parallel = sweep(plan, 8, c8);
+
+    std::ostringstream os1, os8;
+    serial.writeCsv(os1);
+    parallel.writeCsv(os8);
+    EXPECT_FALSE(os1.str().empty());
+    EXPECT_EQ(os1.str(), os8.str());
+}
+
+TEST(SweepRunnerTest, SpecsBuiltOncePerSweep)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel", "kangaroo"},
+             {Technique::OoO, Technique::Vr, Technique::Dvr});
+    WorkloadCache cache;
+    sweep(plan, 4, cache);
+    // 6 points but only 2 distinct spec+scale artifacts.
+    EXPECT_EQ(cache.builds(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SweepRunnerTest, InjectedFailureDoesNotPoisonSiblings)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"},
+             {Technique::OoO, Technique::Vr, Technique::Dvr});
+    plan.injectFail(Technique::Vr);
+    WorkloadCache cache;
+    ResultTable table = sweep(plan, 2, cache);
+
+    EXPECT_EQ(table.failures(), 1u);
+    const SimResult &failed = table.at("camel", Technique::Vr);
+    EXPECT_EQ(failed.status, SimStatus::Panic);
+    EXPECT_NE(failed.status_message.find("fault injection"),
+              std::string::npos);
+    EXPECT_TRUE(table.at("camel", Technique::OoO).ok());
+    EXPECT_TRUE(table.at("camel", Technique::Dvr).ok());
+    EXPECT_GT(table.at("camel", Technique::Dvr).ipc(), 0.0);
+}
+
+TEST(SweepRunnerTest, UnknownSpecIsRecordedAsFatalResult)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel", "no-such-benchmark"}, {Technique::OoO});
+    WorkloadCache cache;
+    ResultTable table = sweep(plan, 1, cache);
+    EXPECT_TRUE(table.at("camel", Technique::OoO).ok());
+    EXPECT_EQ(table.at("no-such-benchmark", Technique::OoO).status,
+              SimStatus::Fatal);
+}
+
+TEST(SweepRunnerTest, CsvRowsCarryPointIds)
+{
+    RunPlan plan = smallPlan();
+    plan.add({"camel"}, {Technique::OoO},
+             {{"rob=64", [](SystemConfig &c) { c.core.rob_size = 64; }},
+              ConfigVariant::base()});
+    WorkloadCache cache;
+    ResultTable table = sweep(plan, 1, cache);
+    std::ostringstream os;
+    table.writeCsv(os);
+    EXPECT_EQ(os.str().rfind("point,workload,technique", 0), 0u);
+    EXPECT_NE(os.str().find("camel:OoO:rob=64,"), std::string::npos);
+    EXPECT_NE(os.str().find("\ncamel:OoO,"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, JobsFromEnvParsesStrictly)
+{
+    unsetenv("VRSIM_JOBS");
+    EXPECT_EQ(SweepRunner::jobsFromEnv(3), 3u);
+    setenv("VRSIM_JOBS", "5", 1);
+    EXPECT_EQ(SweepRunner::jobsFromEnv(1), 5u);
+    setenv("VRSIM_JOBS", "0", 1);
+    EXPECT_GE(SweepRunner::jobsFromEnv(1), 1u);
+    setenv("VRSIM_JOBS", "garbage", 1);
+    EXPECT_THROW(SweepRunner::jobsFromEnv(1), FatalError);
+    setenv("VRSIM_JOBS", "9999", 1);
+    EXPECT_THROW(SweepRunner::jobsFromEnv(1), FatalError);
+    unsetenv("VRSIM_JOBS");
+}
+
+} // namespace
+} // namespace vrsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the shared strict numeric parser used by CLI flags and
+ * VRSIM_* environment knobs: garbage must fail loudly, never parse
+ * as zero (which would flip instruction budgets into unlimited mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(ParseTest, AcceptsPlainHexAndOctalIntegers)
+{
+    EXPECT_EQ(parseU64("--roi", "0"), 0u);
+    EXPECT_EQ(parseU64("--roi", "150000"), 150000u);
+    EXPECT_EQ(parseU64("--roi", "0x20"), 0x20u);
+    EXPECT_EQ(parseU64("--roi", "010"), 8u);
+    EXPECT_EQ(parseU64("--roi", "18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseTest, RejectsGarbageTrailingJunkAndNegatives)
+{
+    EXPECT_THROW(parseU64("--roi", "garbage"), FatalError);
+    EXPECT_THROW(parseU64("--roi", ""), FatalError);
+    EXPECT_THROW(parseU64("--roi", "12x"), FatalError);
+    EXPECT_THROW(parseU64("--roi", "1.5"), FatalError);
+    EXPECT_THROW(parseU64("--roi", "-1"), FatalError);
+    EXPECT_THROW(parseU64("--roi", "99999999999999999999999"),
+                 FatalError);
+}
+
+TEST(ParseTest, DiagnosticNamesTheFlag)
+{
+    try {
+        parseU64("VRSIM_ROI", "nope");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("VRSIM_ROI"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("nope"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParseTest, U32RangeChecked)
+{
+    EXPECT_EQ(parseU32("--rob", "4294967295"), UINT32_MAX);
+    EXPECT_THROW(parseU32("--rob", "4294967296"), FatalError);
+}
+
+TEST(ParseTest, EnvU64DefaultsWhenUnsetAndRejectsTypos)
+{
+    unsetenv("VRSIM_PARSE_TEST");
+    EXPECT_EQ(envU64("VRSIM_PARSE_TEST", 42), 42u);
+    setenv("VRSIM_PARSE_TEST", "7", 1);
+    EXPECT_EQ(envU64("VRSIM_PARSE_TEST", 42), 7u);
+    setenv("VRSIM_PARSE_TEST", "7even", 1);
+    EXPECT_THROW(envU64("VRSIM_PARSE_TEST", 42), FatalError);
+    unsetenv("VRSIM_PARSE_TEST");
+}
+
+} // namespace
+} // namespace vrsim

@@ -39,6 +39,43 @@ TEST(AverageTest, MeanOfSamples)
     EXPECT_DOUBLE_EQ(a.sum(), 60.0);
 }
 
+TEST(AverageTest, DescriptionAndDump)
+{
+    Average a("lat", "load-to-use latency");
+    EXPECT_EQ(a.name(), "lat");
+    EXPECT_EQ(a.desc(), "load-to-use latency");
+    a.sample(10);
+    a.sample(30);
+    std::ostringstream os;
+    a.dump(os);
+    EXPECT_EQ(os.str(), "lat 20 # load-to-use latency (2 samples)\n");
+
+    // No description -> no comment marker.
+    Average bare("x");
+    bare.sample(1);
+    std::ostringstream os2;
+    bare.dump(os2);
+    EXPECT_EQ(os2.str(), "x 1 (1 samples)\n");
+}
+
+TEST(HistogramTest, NameGeometryAndDump)
+{
+    Histogram h("occ", 2, 10.0);
+    EXPECT_EQ(h.name(), "occ");
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 10.0);
+    h.sample(5);
+    h.sample(25);   // overflow bucket
+    std::ostringstream os;
+    h.dump(os);
+    // Every line is prefixed with the histogram's name so several
+    // histograms can share one stream.
+    EXPECT_NE(os.str().find("occ.mean 15"), std::string::npos);
+    EXPECT_NE(os.str().find("occ.total 2"), std::string::npos);
+    EXPECT_NE(os.str().find("occ[0,10) 1"), std::string::npos);
+    EXPECT_NE(os.str().find("occ[10,20) 0"), std::string::npos);
+    EXPECT_NE(os.str().find("occ[20+) 1"), std::string::npos);
+}
+
 TEST(HistogramTest, BucketingAndOverflow)
 {
     Histogram h("occ", 4, 10.0);   // buckets [0,10) ... [30,40) + ovf

@@ -1,8 +1,10 @@
 /**
  * @file
  * The vrsim command-line runner: simulate any workload under any
- * technique with configuration overrides, printing a full report or a
- * CSV row.
+ * technique with configuration overrides, printing a full report, a
+ * CSV row, or machine-readable JSON. Runs are described as a RunPlan
+ * and executed by the SweepRunner, so --all-techniques sweeps share
+ * one workload build and can run in parallel (--jobs / VRSIM_JOBS).
  *
  * Usage:
  *   vrsim [options]
@@ -10,6 +12,8 @@
  *     --technique NAME    ooo|pre|imp|vr|dvr-offload|dvr-discovery|
  *                         dvr|oracle (default dvr)
  *     --all-techniques    run every technique, print a speedup table
+ *     --jobs N            worker threads for sweeps (default
+ *                         VRSIM_JOBS or 1; 0 = hardware concurrency)
  *     --roi N             dynamic-instruction budget (default 150000)
  *     --warmup N          instructions excluded from statistics
  *     --rob N             ROB entries (default 350)
@@ -23,7 +27,8 @@
  *     --inject-fail NAME  fault injection: panic the named technique's
  *                         run (exercises --keep-going in tests)
  *     --paper-caches      full Table-1 L2/L3 instead of bench scaling
- *     --csv               emit a CSV row instead of the report
+ *     --format FMT        table (default) | csv | json
+ *     --csv               alias for --format csv
  *     --list              list available workload specs
  *
  * Exit codes (see docs/robustness.md):
@@ -31,14 +36,12 @@
  *   --keep-going); 2 usage; 70 internal panic or watchdog hang.
  */
 
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <iterator>
 
 #include "driver/report.hh"
-#include "driver/simulation.hh"
+#include "driver/sweep_runner.hh"
+#include "sim/parse.hh"
 
 using namespace vrsim;
 
@@ -48,6 +51,8 @@ namespace
 constexpr int EXIT_FATAL = 1;
 constexpr int EXIT_USAGE = 2;
 constexpr int EXIT_PANIC_OR_HANG = 70;  //!< sysexits EX_SOFTWARE
+
+enum class Format { Table, Csv, Json };
 
 Technique
 parseTechnique(const std::string &s)
@@ -63,36 +68,26 @@ parseTechnique(const std::string &s)
     fatal("unknown technique: " + s);
 }
 
-/**
- * Strict numeric parsing: strtoull's silent-zero on garbage would
- * e.g. turn `--roi garbage` into max_insts = 0, flipping the run into
- * unlimited-budget mode. Reject non-numeric, trailing-junk and
- * overflowing values with the flag named.
- */
-uint64_t
-parseU64(const std::string &flag, const char *s)
+Format
+parseFormat(const std::string &s)
 {
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(s, &end, 0);
-    if (end == s || *end != '\0')
-        fatal("invalid value for " + flag + ": '" + s +
-              "' (expected a non-negative integer)");
-    if (errno == ERANGE)
-        fatal("value for " + flag + " out of range: '" + s + "'");
-    if (std::strchr(s, '-'))
-        fatal("invalid value for " + flag + ": '" + s +
-              "' (negative values are not allowed)");
-    return v;
+    if (s == "table") return Format::Table;
+    if (s == "csv") return Format::Csv;
+    if (s == "json") return Format::Json;
+    fatal("unknown format: " + s + " (expected table, csv or json)");
 }
 
-uint32_t
-parseU32(const std::string &flag, const char *s)
+/** Map a failed run's status to the process exit-code contract. */
+int
+exitCodeFor(const SimResult &r)
 {
-    uint64_t v = parseU64(flag, s);
-    if (v > UINT32_MAX)
-        fatal("value for " + flag + " out of range: '" + s + "'");
-    return uint32_t(v);
+    switch (r.status) {
+      case SimStatus::Ok: return 0;
+      case SimStatus::Fatal: return EXIT_FATAL;
+      case SimStatus::Panic:
+      case SimStatus::Hang: return EXIT_PANIC_OR_HANG;
+    }
+    return EXIT_FATAL;
 }
 
 [[noreturn]] void
@@ -100,11 +95,12 @@ usage()
 {
     std::cerr <<
         "usage: vrsim [--workload SPEC] [--technique NAME]\n"
-        "             [--all-techniques] [--roi N] [--warmup N]\n"
-        "             [--rob N] [--mshrs N] [--lanes N] [--nodes N]\n"
-        "             [--degree N] [--elems N] [--watchdog-cycles N]\n"
-        "             [--keep-going] [--inject-fail NAME]\n"
-        "             [--paper-caches] [--csv] [--list]\n";
+        "             [--all-techniques] [--jobs N] [--roi N]\n"
+        "             [--warmup N] [--rob N] [--mshrs N] [--lanes N]\n"
+        "             [--nodes N] [--degree N] [--elems N]\n"
+        "             [--watchdog-cycles N] [--keep-going]\n"
+        "             [--inject-fail NAME] [--paper-caches]\n"
+        "             [--format table|csv|json] [--csv] [--list]\n";
     std::exit(EXIT_USAGE);
 }
 
@@ -118,8 +114,9 @@ main(int argc, char **argv)
     std::string inject_fail;
     bool all_techniques = false;
     bool keep_going = false;
-    bool csv = false;
     bool paper_caches = false;
+    Format format = Format::Table;
+    uint64_t jobs = 0;  // 0 = VRSIM_JOBS / default 1
     uint64_t roi = 150'000;
     uint64_t warmup = 0;
     GraphScale gscale;
@@ -140,6 +137,7 @@ main(int argc, char **argv)
             else if (a == "--all-techniques") all_techniques = true;
             else if (a == "--keep-going") keep_going = true;
             else if (a == "--inject-fail") inject_fail = need(i);
+            else if (a == "--jobs") jobs = parseU64(a, need(i));
             else if (a == "--roi") roi = parseU64(a, need(i));
             else if (a == "--warmup") warmup = parseU64(a, need(i));
             else if (a == "--rob")
@@ -159,7 +157,9 @@ main(int argc, char **argv)
             else if (a == "--watchdog-cycles")
                 cfg.watchdog_cycles = parseU64(a, need(i));
             else if (a == "--paper-caches") paper_caches = true;
-            else if (a == "--csv") csv = true;
+            else if (a == "--format")
+                format = parseFormat(need(i));
+            else if (a == "--csv") format = Format::Csv;
             else if (a == "--list") {
                 for (const auto &k : gapKernelNames())
                     for (const char *in : {"KR", "LJN", "ORK", "TW",
@@ -180,86 +180,77 @@ main(int argc, char **argv)
             cfg.l3 = p.l3;
         }
 
+        RunPlan plan(cfg);
+        plan.scale(gscale, hscale).roi(roi).warmup(warmup);
         if (all_techniques) {
-            const Technique techs[] = {
-                Technique::OoO, Technique::Pre, Technique::Imp,
-                Technique::Vr, Technique::DvrOffload,
-                Technique::DvrDiscovery, Technique::Dvr,
-                Technique::Oracle,
-            };
-            CsvWriter writer(std::cout);
-            double base = 0;
-            size_t failures = 0;
-            for (Technique t : techs) {
-                auto runOne = [&]() -> SimResult {
-                    if (!inject_fail.empty() &&
-                        parseTechnique(inject_fail) == t)
-                        panic("fault injection requested for " +
-                              techniqueName(t) + " (--inject-fail)");
-                    return runSimulation(spec, t, cfg, gscale, hscale,
-                                         roi + warmup, warmup);
-                };
-                SimResult r;
-                if (keep_going) {
-                    // Fault-isolated sweep: a failed run becomes a
-                    // recorded status row instead of ending the sweep.
-                    if (!inject_fail.empty() &&
-                        parseTechnique(inject_fail) == t) {
-                        r.workload = spec;
-                        r.technique = t;
-                        r.status = SimStatus::Panic;
-                        r.status_message =
-                            "panic: fault injection requested for " +
-                            techniqueName(t) + " (--inject-fail)";
-                    } else {
-                        r = runSimulationGuarded(spec, t, cfg, gscale,
-                                                 hscale, roi + warmup,
-                                                 warmup);
-                    }
-                } else {
-                    r = runOne();
+            plan.add({spec},
+                     {Technique::OoO, Technique::Pre, Technique::Imp,
+                      Technique::Vr, Technique::DvrOffload,
+                      Technique::DvrDiscovery, Technique::Dvr,
+                      Technique::Oracle});
+        } else {
+            plan.add({spec}, {parseTechnique(tech)});
+        }
+        if (!inject_fail.empty())
+            plan.injectFail(parseTechnique(inject_fail));
+
+        SweepOptions opts;
+        opts.jobs = unsigned(jobs);
+        opts.progress = all_techniques && format == Format::Table;
+        ResultTable table = SweepRunner(opts).run(plan);
+
+        // Without --keep-going, the first failure ends the program
+        // with the same exit codes an unguarded run would have had.
+        if (!keep_going) {
+            for (const SimResult &r : table.results()) {
+                if (!r.ok()) {
+                    std::cerr << r.status_message << "\n";
+                    return exitCodeFor(r);
                 }
-                if (!r.ok())
-                    ++failures;
-                if (t == Technique::OoO && r.ok())
-                    base = r.ipc();
-                if (csv) {
-                    writer.row(r);
-                } else if (r.ok()) {
+            }
+        }
+
+        if (format == Format::Csv) {
+            if (all_techniques)
+                table.writeCsv(std::cout);
+            else
+                CsvWriter(std::cout).row(table.results().front());
+        } else if (format == Format::Json) {
+            if (all_techniques)
+                printJson(std::cout, table.results());
+            else
+                printJson(std::cout, table.results().front());
+        } else if (all_techniques) {
+            double base = 0;
+            const SimResult *ooo =
+                table.find(spec, techniqueName(Technique::OoO));
+            if (ooo && ooo->ok())
+                base = ooo->ipc();
+            for (const SimResult &r : table.results()) {
+                if (r.ok()) {
                     std::printf("%-14s IPC %-8.3f speedup %-7.2f "
                                 "MLP %-6.1f DRAM %llu\n",
-                                techniqueName(t).c_str(), r.ipc(),
+                                techniqueName(r.technique).c_str(),
+                                r.ipc(),
                                 base > 0 ? r.ipc() / base : 0.0,
                                 r.mlp,
                                 (unsigned long long)r.mem.dramTotal());
                 } else {
                     std::printf("%-14s %-6s %s\n",
-                                techniqueName(t).c_str(),
+                                techniqueName(r.technique).c_str(),
                                 simStatusName(r.status),
                                 r.status_message.c_str());
                 }
             }
-            if (failures) {
-                std::cerr << "warn: " << failures << " of "
-                          << std::size(techs)
-                          << " technique runs failed (partial "
-                             "results above)\n";
-                return EXIT_FATAL;
-            }
-            return 0;
+        } else {
+            printReport(std::cout, table.results().front(), cfg);
         }
 
-        Technique t = parseTechnique(tech);
-        if (!inject_fail.empty() && parseTechnique(inject_fail) == t)
-            panic("fault injection requested for " + techniqueName(t) +
-                  " (--inject-fail)");
-        SimResult r = runSimulation(spec, t, cfg, gscale, hscale,
-                                    roi + warmup, warmup);
-        if (csv) {
-            CsvWriter writer(std::cout);
-            writer.row(r);
-        } else {
-            printReport(std::cout, r, cfg);
+        if (size_t failures = table.failures()) {
+            std::cerr << "warn: " << failures << " of " << table.size()
+                      << " technique runs failed (partial results "
+                         "above)\n";
+            return EXIT_FATAL;
         }
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";
