@@ -15,6 +15,15 @@
  *   VRSIM_WARMUP  leading instructions excluded from stats
  *                 (default 25000; caches/predictors stay warm)
  *   VRSIM_JOBS    sweep worker threads (default 1; 0 = all cores)
+ *   VRSIM_CHECK_DIGESTS  when nonzero, differentially check every
+ *                 technique column against its OoO baseline column
+ *                 (the plan must include OoO; mismatches are
+ *                 reported as diverged)
+ *   VRSIM_REPRO_DIR      write crash-repro bundles for failed points
+ *                 into this directory (replay with vrsim --replay)
+ *   VRSIM_CHECKPOINT     journal completed points to this file
+ *   VRSIM_RESUME  when nonzero, restore completed points from
+ *                 VRSIM_CHECKPOINT and run only the rest
  */
 
 #ifndef VRSIM_BENCH_COMMON_HH
@@ -91,6 +100,12 @@ struct BenchEnv
     {
         SweepOptions opts;
         opts.jobs = 0;  // resolve from VRSIM_JOBS
+        opts.check_digests = envU64("VRSIM_CHECK_DIGESTS", 0) != 0;
+        if (const char *dir = std::getenv("VRSIM_REPRO_DIR"))
+            opts.repro_dir = dir;
+        if (const char *file = std::getenv("VRSIM_CHECKPOINT"))
+            opts.checkpoint = file;
+        opts.resume = envU64("VRSIM_RESUME", 0) != 0;
         try {
             return SweepRunner(opts).run(p);
         } catch (const FatalError &e) {

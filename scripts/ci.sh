@@ -3,9 +3,12 @@
 # ways — plain (with VRSIM_JOBS=2 so every sweep-driven test exercises
 # the parallel executor), under AddressSanitizer + UBSan, and under
 # ThreadSanitizer for the concurrency-bearing subset (sweep runner,
-# workload cache) (VRSIM_SANITIZE, see CMakeLists.txt). Bench smoke
-# tests are included; the full figure sweeps live in
-# scripts/run_all.sh.
+# workload cache) (VRSIM_SANITIZE, see CMakeLists.txt) — then runs a
+# differential-check stage under standalone UBSan: a small real grid
+# with --check-digests (every technique's committed stream must hash
+# identically to the OoO baseline's) plus a repro-bundle replay
+# round-trip smoke. Bench smoke tests are included; the full figure
+# sweeps live in scripts/run_all.sh.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -31,4 +34,42 @@ cmake --build build-ci-tsan -j "$JOBS" \
 VRSIM_JOBS=4 ctest --test-dir build-ci-tsan --output-on-failure \
     -j "$JOBS" -R 'SweepRunner|RunPlan|ResultTable|WorkloadCache'
 
-echo "ci: all three configurations passed"
+echo "=== differential check (UBSan build, small grid) ==="
+cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVRSIM_SANITIZE=undefined
+cmake --build build-ci-ubsan -j "$JOBS" --target vrsim
+
+# Every technique column must commit a stream hashing identically to
+# the OoO baseline's, on real (scaled-down) workloads, in parallel.
+for spec in camel kangaroo hj2; do
+    VRSIM_JOBS=2 build-ci-ubsan/tools/vrsim \
+        --workload "$spec" --all-techniques --check-digests \
+        --roi 8000 --warmup 1000 --nodes 2048 --degree 8 \
+        --elems 2048 --format csv >/dev/null
+done
+echo "differential check: all techniques match the OoO baseline"
+
+# Repro-bundle replay round-trip: an injected divergence must be
+# flagged, bundled, and reproduce (exit 70) under --replay.
+REPRO_DIR="$(mktemp -d)"
+trap 'rm -rf "$REPRO_DIR"' EXIT
+rc=0
+VRSIM_JOBS=2 build-ci-ubsan/tools/vrsim \
+    --workload camel --all-techniques --check-digests --keep-going \
+    --inject-fail vr:diverge --repro-dir "$REPRO_DIR" \
+    --roi 8000 --warmup 1000 --nodes 2048 --degree 8 --elems 2048 \
+    --format csv >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "replay smoke: injected divergence exited $rc, expected 1" >&2
+    exit 1
+fi
+rc=0
+build-ci-ubsan/tools/vrsim --replay "$REPRO_DIR/camel_VR.json" \
+    >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 70 ]; then
+    echo "replay smoke: --replay exited $rc, expected 70" >&2
+    exit 1
+fi
+echo "replay smoke: bundle reproduced the divergence (exit 70)"
+
+echo "ci: all configurations passed"

@@ -384,6 +384,21 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
 
         last_cycle = std::max(last_cycle, commit);
 
+        // Feed the differential oracle before the engine hook: the
+        // engine may open a speculation scope, and retirement must be
+        // recorded strictly outside transient execution.
+        if (digest_) {
+            CommitRecord cr;
+            cr.pc = si.pc;
+            cr.writes_reg = inst.writesDst();
+            cr.reg = inst.rd;
+            cr.reg_value = si.dst_value;
+            cr.is_store = si.is_store;
+            cr.store_addr = si.addr;
+            cr.store_value = si.dst_value;
+            digest_->retire(cr);
+        }
+
         if (engine_)
             engine_->onInstruction(si, state, dispatch);
 

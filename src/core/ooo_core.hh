@@ -24,6 +24,7 @@
 #include "isa/interp.hh"
 #include "mem/hierarchy.hh"
 #include "sim/config.hh"
+#include "sim/digest.hh"
 
 namespace vrsim
 {
@@ -154,6 +155,14 @@ class OooCore
     void setTrace(std::function<void(const TraceRecord &)> sink)
     { trace_ = std::move(sink); }
 
+    /**
+     * Attach a differential-oracle digest (sim/digest.hh): the commit
+     * path feeds it every retired instruction's architectural effects,
+     * in program order, outside any speculation scope. nullptr
+     * detaches. Not owned.
+     */
+    void setDigest(StateDigest *digest) { digest_ = digest; }
+
   private:
     /**
      * Per-FU-class issue-port calendar with cycle-granular occupancy.
@@ -206,6 +215,7 @@ class OooCore
     Btb btb_;
     CacheArray l1i_;
     std::function<void(const TraceRecord &)> trace_;
+    StateDigest *digest_ = nullptr;
 
     PortBank int_add_, int_mul_, int_div_;
     PortBank fp_add_, fp_mul_, fp_div_;

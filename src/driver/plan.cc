@@ -5,6 +5,37 @@
 namespace vrsim
 {
 
+const char *
+injectKindName(InjectKind k)
+{
+    switch (k) {
+      case InjectKind::None: return "none";
+      case InjectKind::Fatal: return "fatal";
+      case InjectKind::Panic: return "panic";
+      case InjectKind::Hang: return "hang";
+      case InjectKind::Diverge: return "diverge";
+    }
+    panic("unknown InjectKind");
+}
+
+InjectKind
+injectKindFromName(const std::string &name)
+{
+    static const InjectKind all[] = {
+        InjectKind::Fatal, InjectKind::Panic, InjectKind::Hang,
+        InjectKind::Diverge,
+    };
+    std::string valid;
+    for (InjectKind k : all) {
+        if (injectKindName(k) == name)
+            return k;
+        if (!valid.empty())
+            valid += ", ";
+        valid += injectKindName(k);
+    }
+    fatal("unknown failure kind '" + name + "' (valid: " + valid + ")");
+}
+
 std::string
 RunPoint::id() const
 {
@@ -50,6 +81,8 @@ RunPlan::points() const
                     p.warmup = warmup_;
                     p.inject_fail =
                         inject_fail_ && *inject_fail_ == col.tech;
+                    if (p.inject_fail)
+                        p.inject_kind = inject_kind_;
                     pts.push_back(std::move(p));
                 }
             }

@@ -52,6 +52,28 @@ struct ConfigVariant
     static ConfigVariant base() { return ConfigVariant{}; }
 };
 
+/**
+ * Which failure class an injected-failure point raises (the
+ * `--inject-fail NAME[:KIND]` contract): each kind exercises one leg
+ * of the error taxonomy end to end — exception, status, exit code,
+ * repro bundle. Diverge runs the point for real but poisons its
+ * digest so the differential-check path is exercised too.
+ */
+enum class InjectKind : uint8_t
+{
+    None,
+    Fatal,
+    Panic,
+    Hang,
+    Diverge,
+};
+
+/** Printable inject-kind name ("fatal", "panic", ...). */
+const char *injectKindName(InjectKind k);
+
+/** Parse an inject kind; fatal() on unknown names. */
+InjectKind injectKindFromName(const std::string &name);
+
 /** One fully resolved grid point of a plan. */
 struct RunPoint
 {
@@ -65,7 +87,8 @@ struct RunPoint
     HpcDbScale hscale;
     uint64_t max_insts = 0;
     uint64_t warmup = 0;
-    bool inject_fail = false;  //!< panic instead of running (tests)
+    bool inject_fail = false;  //!< raise inject_kind instead of running
+    InjectKind inject_kind = InjectKind::None;
 
     /** Stable point ID: "spec:column" or "spec:column:variant". */
     std::string id() const;
@@ -125,14 +148,17 @@ class RunPlan
                  std::vector<ConfigVariant> variants = {});
 
     /**
-     * Fault injection: points whose technique equals @p t panic
-     * instead of running (the vrsim --inject-fail contract, used to
-     * test that a failing point cannot poison its siblings).
+     * Fault injection: points whose technique equals @p t raise the
+     * given failure kind instead of (or, for Diverge, after) running
+     * (the vrsim --inject-fail contract, used to test that a failing
+     * point cannot poison its siblings and that each failure class
+     * produces its repro bundle and exit code).
      */
     RunPlan &
-    injectFail(Technique t)
+    injectFail(Technique t, InjectKind kind = InjectKind::Panic)
     {
         inject_fail_ = t;
+        inject_kind_ = kind;
         return *this;
     }
 
@@ -160,6 +186,7 @@ class RunPlan
     uint64_t roi_ = 150'000;
     uint64_t warmup_ = 0;
     std::optional<Technique> inject_fail_;
+    InjectKind inject_kind_ = InjectKind::Panic;
     std::vector<Grid> grids_;
 };
 

@@ -1,0 +1,821 @@
+#include "driver/repro.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/parse.hh"
+
+namespace vrsim
+{
+
+namespace
+{
+
+// ---- JSON writing primitives ----
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+f64(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                  (unsigned long long)v);
+    return buf;
+}
+
+std::string
+str(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+boolean(bool b)
+{
+    return b ? "true" : "false";
+}
+
+/** Tiny builder for one-line JSON objects. */
+struct Obj
+{
+    std::string out = "{";
+    bool first = true;
+
+    Obj &
+    field(const char *key, const std::string &raw)
+    {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"";
+        out += key;
+        out += "\":";
+        out += raw;
+        return *this;
+    }
+
+    std::string done() { return out + "}"; }
+};
+
+uint64_t
+hexFromJson(const JsonValue &v)
+{
+    const std::string &s = v.asString();
+    char *end = nullptr;
+    unsigned long long x = std::strtoull(s.c_str(), &end, 16);
+    if (s.empty() || *end != '\0')
+        fatal("malformed hex digest '" + s + "' in bundle/journal");
+    return x;
+}
+
+// ---- statistics blocks ----
+
+std::string
+coreStatsToJson(const CoreStats &c)
+{
+    return Obj{}
+        .field("instructions", u64(c.instructions))
+        .field("cycles", u64(c.cycles))
+        .field("loads", u64(c.loads))
+        .field("stores", u64(c.stores))
+        .field("branches", u64(c.branches))
+        .field("mispredicts", u64(c.mispredicts))
+        .field("rob_stall_cycles", u64(c.rob_stall_cycles))
+        .field("full_rob_stall_events", u64(c.full_rob_stall_events))
+        .field("runahead_commit_stall", u64(c.runahead_commit_stall))
+        .field("btb_misses", u64(c.btb_misses))
+        .field("icache_misses", u64(c.icache_misses))
+        .field("stall_fetch", u64(c.stall_fetch))
+        .field("stall_iq", u64(c.stall_iq))
+        .field("stall_lq", u64(c.stall_lq))
+        .field("stall_sq", u64(c.stall_sq))
+        .done();
+}
+
+CoreStats
+coreStatsFromJson(const JsonValue &v)
+{
+    CoreStats c;
+    c.instructions = v.at("instructions").asU64();
+    c.cycles = v.at("cycles").asU64();
+    c.loads = v.at("loads").asU64();
+    c.stores = v.at("stores").asU64();
+    c.branches = v.at("branches").asU64();
+    c.mispredicts = v.at("mispredicts").asU64();
+    c.rob_stall_cycles = v.at("rob_stall_cycles").asU64();
+    c.full_rob_stall_events = v.at("full_rob_stall_events").asU64();
+    c.runahead_commit_stall = v.at("runahead_commit_stall").asU64();
+    c.btb_misses = v.at("btb_misses").asU64();
+    c.icache_misses = v.at("icache_misses").asU64();
+    c.stall_fetch = v.at("stall_fetch").asU64();
+    c.stall_iq = v.at("stall_iq").asU64();
+    c.stall_lq = v.at("stall_lq").asU64();
+    c.stall_sq = v.at("stall_sq").asU64();
+    return c;
+}
+
+std::string
+memStatsToJson(const MemStats &m)
+{
+    std::string dram = "[";
+    for (size_t i = 0; i < m.dram_by_requester.size(); i++) {
+        if (i)
+            dram += ",";
+        dram += u64(m.dram_by_requester[i]);
+    }
+    dram += "]";
+    return Obj{}
+        .field("demand_accesses", u64(m.demand_accesses))
+        .field("demand_l1_hits", u64(m.demand_l1_hits))
+        .field("demand_l2_hits", u64(m.demand_l2_hits))
+        .field("demand_l3_hits", u64(m.demand_l3_hits))
+        .field("demand_mem", u64(m.demand_mem))
+        .field("demand_latency_sum", u64(m.demand_latency_sum))
+        .field("dram_by_requester", dram)
+        .field("pf_lines_filled", u64(m.pf_lines_filled))
+        .field("pf_used_l1", u64(m.pf_used_l1))
+        .field("pf_used_l2", u64(m.pf_used_l2))
+        .field("pf_used_l3", u64(m.pf_used_l3))
+        .field("pf_used_inflight", u64(m.pf_used_inflight))
+        .done();
+}
+
+MemStats
+memStatsFromJson(const JsonValue &v)
+{
+    MemStats m;
+    m.demand_accesses = v.at("demand_accesses").asU64();
+    m.demand_l1_hits = v.at("demand_l1_hits").asU64();
+    m.demand_l2_hits = v.at("demand_l2_hits").asU64();
+    m.demand_l3_hits = v.at("demand_l3_hits").asU64();
+    m.demand_mem = v.at("demand_mem").asU64();
+    m.demand_latency_sum = v.at("demand_latency_sum").asU64();
+    const auto &dram = v.at("dram_by_requester").asArray();
+    if (dram.size() != m.dram_by_requester.size())
+        fatal("dram_by_requester has " + std::to_string(dram.size()) +
+              " entries, expected " +
+              std::to_string(m.dram_by_requester.size()));
+    for (size_t i = 0; i < dram.size(); i++)
+        m.dram_by_requester[i] = dram[i].asU64();
+    m.pf_lines_filled = v.at("pf_lines_filled").asU64();
+    m.pf_used_l1 = v.at("pf_used_l1").asU64();
+    m.pf_used_l2 = v.at("pf_used_l2").asU64();
+    m.pf_used_l3 = v.at("pf_used_l3").asU64();
+    m.pf_used_inflight = v.at("pf_used_inflight").asU64();
+    return m;
+}
+
+std::string
+preStatsToJson(const PreStats &p)
+{
+    return Obj{}
+        .field("intervals", u64(p.intervals))
+        .field("insts_examined", u64(p.insts_examined))
+        .field("prefetches", u64(p.prefetches))
+        .field("skipped_dependent", u64(p.skipped_dependent))
+        .done();
+}
+
+PreStats
+preStatsFromJson(const JsonValue &v)
+{
+    PreStats p;
+    p.intervals = v.at("intervals").asU64();
+    p.insts_examined = v.at("insts_examined").asU64();
+    p.prefetches = v.at("prefetches").asU64();
+    p.skipped_dependent = v.at("skipped_dependent").asU64();
+    return p;
+}
+
+std::string
+vrStatsToJson(const VrStats &s)
+{
+    return Obj{}
+        .field("triggers", u64(s.triggers))
+        .field("vectorizations", u64(s.vectorizations))
+        .field("lanes_spawned", u64(s.lanes_spawned))
+        .field("prefetches", u64(s.prefetches))
+        .field("lanes_invalidated", u64(s.lanes_invalidated))
+        .field("delayed_term_cycles", u64(s.delayed_term_cycles))
+        .done();
+}
+
+VrStats
+vrStatsFromJson(const JsonValue &v)
+{
+    VrStats s;
+    s.triggers = v.at("triggers").asU64();
+    s.vectorizations = v.at("vectorizations").asU64();
+    s.lanes_spawned = v.at("lanes_spawned").asU64();
+    s.prefetches = v.at("prefetches").asU64();
+    s.lanes_invalidated = v.at("lanes_invalidated").asU64();
+    s.delayed_term_cycles = v.at("delayed_term_cycles").asU64();
+    return s;
+}
+
+std::string
+dvrStatsToJson(const DvrStats &s)
+{
+    return Obj{}
+        .field("discoveries", u64(s.discoveries))
+        .field("discovery_aborts", u64(s.discovery_aborts))
+        .field("innermost_switches", u64(s.innermost_switches))
+        .field("spawns", u64(s.spawns))
+        .field("nested_spawns", u64(s.nested_spawns))
+        .field("ndm_fallbacks", u64(s.ndm_fallbacks))
+        .field("lanes_spawned", u64(s.lanes_spawned))
+        .field("prefetches", u64(s.prefetches))
+        .field("divergences", u64(s.divergences))
+        .field("bound_limited", u64(s.bound_limited))
+        .field("dedupe_skips", u64(s.dedupe_skips))
+        .done();
+}
+
+DvrStats
+dvrStatsFromJson(const JsonValue &v)
+{
+    DvrStats s;
+    s.discoveries = v.at("discoveries").asU64();
+    s.discovery_aborts = v.at("discovery_aborts").asU64();
+    s.innermost_switches = v.at("innermost_switches").asU64();
+    s.spawns = v.at("spawns").asU64();
+    s.nested_spawns = v.at("nested_spawns").asU64();
+    s.ndm_fallbacks = v.at("ndm_fallbacks").asU64();
+    s.lanes_spawned = v.at("lanes_spawned").asU64();
+    s.prefetches = v.at("prefetches").asU64();
+    s.divergences = v.at("divergences").asU64();
+    s.bound_limited = v.at("bound_limited").asU64();
+    s.dedupe_skips = v.at("dedupe_skips").asU64();
+    return s;
+}
+
+std::string
+digestToJson(const DigestRecord &d)
+{
+    std::string iv = "[";
+    for (size_t i = 0; i < d.intervals.size(); i++) {
+        if (i)
+            iv += ",";
+        iv += hex64(d.intervals[i]);
+    }
+    iv += "]";
+    return Obj{}
+        .field("interval", u64(d.interval))
+        .field("instructions", u64(d.instructions))
+        .field("final_digest", hex64(d.final_digest))
+        .field("intervals", iv)
+        .done();
+}
+
+DigestRecord
+digestFromJson(const JsonValue &v)
+{
+    DigestRecord d;
+    d.interval = v.at("interval").asU64();
+    d.instructions = v.at("instructions").asU64();
+    d.final_digest = hexFromJson(v.at("final_digest"));
+    for (const JsonValue &e : v.at("intervals").asArray())
+        d.intervals.push_back(hexFromJson(e));
+    return d;
+}
+
+std::string
+divergenceToJson(const DigestDivergence &d)
+{
+    return Obj{}
+        .field("interval_index", u64(d.interval_index))
+        .field("inst_lo", u64(d.inst_lo))
+        .field("inst_hi", u64(d.inst_hi))
+        .field("expected", hex64(d.expected))
+        .field("actual", hex64(d.actual))
+        .done();
+}
+
+DigestDivergence
+divergenceFromJson(const JsonValue &v)
+{
+    DigestDivergence d;
+    d.interval_index = v.at("interval_index").asU64();
+    d.inst_lo = v.at("inst_lo").asU64();
+    d.inst_hi = v.at("inst_hi").asU64();
+    d.expected = hexFromJson(v.at("expected"));
+    d.actual = hexFromJson(v.at("actual"));
+    return d;
+}
+
+// ---- configuration blocks ----
+
+std::string
+cacheToJson(const CacheConfig &c)
+{
+    return Obj{}
+        .field("size_bytes", u64(c.size_bytes))
+        .field("assoc", u64(c.assoc))
+        .field("line_bytes", u64(c.line_bytes))
+        .field("latency", u64(c.latency))
+        .field("mshrs", u64(c.mshrs))
+        .field("ports", u64(c.ports))
+        .field("repl", u64(uint64_t(c.repl)))
+        .done();
+}
+
+CacheConfig
+cacheFromJson(const JsonValue &v)
+{
+    CacheConfig c;
+    c.size_bytes = uint32_t(v.at("size_bytes").asU64());
+    c.assoc = uint32_t(v.at("assoc").asU64());
+    c.line_bytes = uint32_t(v.at("line_bytes").asU64());
+    c.latency = uint32_t(v.at("latency").asU64());
+    c.mshrs = uint32_t(v.at("mshrs").asU64());
+    c.ports = uint32_t(v.at("ports").asU64());
+    uint64_t repl = v.at("repl").asU64();
+    if (repl > uint64_t(ReplPolicy::Random))
+        fatal("bad replacement-policy code " + std::to_string(repl));
+    c.repl = ReplPolicy(repl);
+    return c;
+}
+
+std::string
+configToJson(const SystemConfig &cfg)
+{
+    const CoreConfig &c = cfg.core;
+    std::string core = Obj{}
+        .field("width", u64(c.width))
+        .field("rob_size", u64(c.rob_size))
+        .field("issue_queue", u64(c.issue_queue))
+        .field("load_queue", u64(c.load_queue))
+        .field("store_queue", u64(c.store_queue))
+        .field("frontend_stages", u64(c.frontend_stages))
+        .field("int_add_units", u64(c.int_add_units))
+        .field("int_add_lat", u64(c.int_add_lat))
+        .field("int_mul_units", u64(c.int_mul_units))
+        .field("int_mul_lat", u64(c.int_mul_lat))
+        .field("int_div_units", u64(c.int_div_units))
+        .field("int_div_lat", u64(c.int_div_lat))
+        .field("fp_add_units", u64(c.fp_add_units))
+        .field("fp_add_lat", u64(c.fp_add_lat))
+        .field("fp_mul_units", u64(c.fp_mul_units))
+        .field("fp_mul_lat", u64(c.fp_mul_lat))
+        .field("fp_div_units", u64(c.fp_div_units))
+        .field("fp_div_lat", u64(c.fp_div_lat))
+        .field("load_ports", u64(c.load_ports))
+        .field("store_ports", u64(c.store_ports))
+        .field("int_phys_regs", u64(c.int_phys_regs))
+        .field("vec_phys_regs", u64(c.vec_phys_regs))
+        .done();
+    const RunaheadConfig &r = cfg.runahead;
+    std::string runahead = Obj{}
+        .field("stride_entries", u64(r.stride_entries))
+        .field("stride_confidence", u64(r.stride_confidence))
+        .field("vector_regs", u64(r.vector_regs))
+        .field("lanes_per_vector", u64(r.lanes_per_vector))
+        .field("discovery_max_insts", u64(r.discovery_max_insts))
+        .field("subthread_timeout", u64(r.subthread_timeout))
+        .field("nested_trigger_lanes", u64(r.nested_trigger_lanes))
+        .field("reconv_stack_entries", u64(r.reconv_stack_entries))
+        .field("frontend_buffer_uops", u64(r.frontend_buffer_uops))
+        .field("pre_chain_cap", u64(r.pre_chain_cap))
+        .field("max_budget_bytes", u64(r.max_budget_bytes))
+        .done();
+    return Obj{}
+        .field("core", core)
+        .field("l1i", cacheToJson(cfg.l1i))
+        .field("l1d", cacheToJson(cfg.l1d))
+        .field("l2", cacheToJson(cfg.l2))
+        .field("l3", cacheToJson(cfg.l3))
+        .field("dram", Obj{}
+            .field("latency", u64(cfg.dram.latency))
+            .field("bytes_per_cycle", f64(cfg.dram.bytes_per_cycle))
+            .field("channels", u64(cfg.dram.channels))
+            .done())
+        .field("stride_pf", Obj{}
+            .field("enabled", boolean(cfg.stride_pf.enabled))
+            .field("streams", u64(cfg.stride_pf.streams))
+            .field("degree", u64(cfg.stride_pf.degree))
+            .field("train_threshold", u64(cfg.stride_pf.train_threshold))
+            .done())
+        .field("imp", Obj{}
+            .field("table_entries", u64(cfg.imp.table_entries))
+            .field("prefetch_distance", u64(cfg.imp.prefetch_distance))
+            .field("train_threshold", u64(cfg.imp.train_threshold))
+            .done())
+        .field("runahead", runahead)
+        .field("technique", str(techniqueName(cfg.technique)))
+        .field("max_insts", u64(cfg.max_insts))
+        .field("watchdog_cycles", u64(cfg.watchdog_cycles))
+        .field("invariant_checks", boolean(cfg.invariant_checks))
+        .field("collect_digest", boolean(cfg.collect_digest))
+        .field("digest_interval", u64(cfg.digest_interval))
+        .done();
+}
+
+SystemConfig
+configFromJson(const JsonValue &v)
+{
+    SystemConfig cfg;
+    const JsonValue &c = v.at("core");
+    cfg.core.width = uint32_t(c.at("width").asU64());
+    cfg.core.rob_size = uint32_t(c.at("rob_size").asU64());
+    cfg.core.issue_queue = uint32_t(c.at("issue_queue").asU64());
+    cfg.core.load_queue = uint32_t(c.at("load_queue").asU64());
+    cfg.core.store_queue = uint32_t(c.at("store_queue").asU64());
+    cfg.core.frontend_stages =
+        uint32_t(c.at("frontend_stages").asU64());
+    cfg.core.int_add_units = uint32_t(c.at("int_add_units").asU64());
+    cfg.core.int_add_lat = uint32_t(c.at("int_add_lat").asU64());
+    cfg.core.int_mul_units = uint32_t(c.at("int_mul_units").asU64());
+    cfg.core.int_mul_lat = uint32_t(c.at("int_mul_lat").asU64());
+    cfg.core.int_div_units = uint32_t(c.at("int_div_units").asU64());
+    cfg.core.int_div_lat = uint32_t(c.at("int_div_lat").asU64());
+    cfg.core.fp_add_units = uint32_t(c.at("fp_add_units").asU64());
+    cfg.core.fp_add_lat = uint32_t(c.at("fp_add_lat").asU64());
+    cfg.core.fp_mul_units = uint32_t(c.at("fp_mul_units").asU64());
+    cfg.core.fp_mul_lat = uint32_t(c.at("fp_mul_lat").asU64());
+    cfg.core.fp_div_units = uint32_t(c.at("fp_div_units").asU64());
+    cfg.core.fp_div_lat = uint32_t(c.at("fp_div_lat").asU64());
+    cfg.core.load_ports = uint32_t(c.at("load_ports").asU64());
+    cfg.core.store_ports = uint32_t(c.at("store_ports").asU64());
+    cfg.core.int_phys_regs = uint32_t(c.at("int_phys_regs").asU64());
+    cfg.core.vec_phys_regs = uint32_t(c.at("vec_phys_regs").asU64());
+    cfg.l1i = cacheFromJson(v.at("l1i"));
+    cfg.l1d = cacheFromJson(v.at("l1d"));
+    cfg.l2 = cacheFromJson(v.at("l2"));
+    cfg.l3 = cacheFromJson(v.at("l3"));
+    const JsonValue &d = v.at("dram");
+    cfg.dram.latency = uint32_t(d.at("latency").asU64());
+    cfg.dram.bytes_per_cycle = d.at("bytes_per_cycle").asF64();
+    cfg.dram.channels = uint32_t(d.at("channels").asU64());
+    const JsonValue &s = v.at("stride_pf");
+    cfg.stride_pf.enabled = s.at("enabled").asBool();
+    cfg.stride_pf.streams = uint32_t(s.at("streams").asU64());
+    cfg.stride_pf.degree = uint32_t(s.at("degree").asU64());
+    cfg.stride_pf.train_threshold =
+        uint32_t(s.at("train_threshold").asU64());
+    const JsonValue &i = v.at("imp");
+    cfg.imp.table_entries = uint32_t(i.at("table_entries").asU64());
+    cfg.imp.prefetch_distance =
+        uint32_t(i.at("prefetch_distance").asU64());
+    cfg.imp.train_threshold =
+        uint32_t(i.at("train_threshold").asU64());
+    const JsonValue &r = v.at("runahead");
+    cfg.runahead.stride_entries =
+        uint32_t(r.at("stride_entries").asU64());
+    cfg.runahead.stride_confidence =
+        uint32_t(r.at("stride_confidence").asU64());
+    cfg.runahead.vector_regs = uint32_t(r.at("vector_regs").asU64());
+    cfg.runahead.lanes_per_vector =
+        uint32_t(r.at("lanes_per_vector").asU64());
+    cfg.runahead.discovery_max_insts =
+        uint32_t(r.at("discovery_max_insts").asU64());
+    cfg.runahead.subthread_timeout =
+        uint32_t(r.at("subthread_timeout").asU64());
+    cfg.runahead.nested_trigger_lanes =
+        uint32_t(r.at("nested_trigger_lanes").asU64());
+    cfg.runahead.reconv_stack_entries =
+        uint32_t(r.at("reconv_stack_entries").asU64());
+    cfg.runahead.frontend_buffer_uops =
+        uint32_t(r.at("frontend_buffer_uops").asU64());
+    cfg.runahead.pre_chain_cap =
+        uint32_t(r.at("pre_chain_cap").asU64());
+    cfg.runahead.max_budget_bytes = r.at("max_budget_bytes").asU64();
+    cfg.technique = techniqueFromName(v.at("technique").asString());
+    cfg.max_insts = v.at("max_insts").asU64();
+    cfg.watchdog_cycles = v.at("watchdog_cycles").asU64();
+    cfg.invariant_checks = v.at("invariant_checks").asBool();
+    cfg.collect_digest = v.at("collect_digest").asBool();
+    cfg.digest_interval = v.at("digest_interval").asU64();
+    return cfg;
+}
+
+std::string
+resultToJsonBody(const SimResult &r)
+{
+    Obj o;
+    o.field("workload", str(r.workload))
+        .field("technique", str(techniqueName(r.technique)))
+        .field("status", str(simStatusName(r.status)))
+        .field("status_message", str(r.status_message))
+        .field("core", coreStatsToJson(r.core))
+        .field("mem", memStatsToJson(r.mem))
+        .field("mlp", f64(r.mlp));
+    if (r.pre)
+        o.field("pre", preStatsToJson(*r.pre));
+    if (r.vr)
+        o.field("vr", vrStatsToJson(*r.vr));
+    if (r.dvr)
+        o.field("dvr", dvrStatsToJson(*r.dvr));
+    if (r.digest)
+        o.field("digest", digestToJson(*r.digest));
+    return o.done();
+}
+
+SimResult
+resultFromJsonValue(const JsonValue &v)
+{
+    SimResult r;
+    r.workload = v.at("workload").asString();
+    r.technique = techniqueFromName(v.at("technique").asString());
+    r.status = simStatusFromName(v.at("status").asString());
+    r.status_message = v.at("status_message").asString();
+    r.core = coreStatsFromJson(v.at("core"));
+    r.mem = memStatsFromJson(v.at("mem"));
+    r.mlp = v.at("mlp").asF64();
+    if (const JsonValue *p = v.find("pre"))
+        r.pre = preStatsFromJson(*p);
+    if (const JsonValue *p = v.find("vr"))
+        r.vr = vrStatsFromJson(*p);
+    if (const JsonValue *p = v.find("dvr"))
+        r.dvr = dvrStatsFromJson(*p);
+    if (const JsonValue *p = v.find("digest"))
+        r.digest = digestFromJson(*p);
+    return r;
+}
+
+std::string
+pointToJsonBody(const RunPoint &p)
+{
+    Obj o;
+    o.field("spec", str(p.spec))
+        .field("technique", str(techniqueName(p.technique)))
+        .field("column", str(p.column))
+        .field("variant", str(p.variant));
+    if (p.features)
+        o.field("features", Obj{}
+            .field("discovery", boolean(p.features->discovery))
+            .field("nested", boolean(p.features->nested))
+            .field("reconverge", boolean(p.features->reconverge))
+            .done());
+    o.field("cfg", configToJson(p.cfg))
+        .field("gscale", Obj{}
+            .field("nodes", u64(p.gscale.nodes))
+            .field("avg_degree", u64(p.gscale.avg_degree))
+            .field("seed", u64(p.gscale.seed))
+            .done())
+        .field("hscale", Obj{}
+            .field("elements", u64(p.hscale.elements))
+            .field("seed", u64(p.hscale.seed))
+            .done())
+        .field("max_insts", u64(p.max_insts))
+        .field("warmup", u64(p.warmup))
+        .field("inject_fail", boolean(p.inject_fail));
+    if (p.inject_fail)
+        o.field("inject_kind", str(injectKindName(p.inject_kind)));
+    return o.done();
+}
+
+RunPoint
+pointFromJsonValue(const JsonValue &v)
+{
+    RunPoint p;
+    p.spec = v.at("spec").asString();
+    p.technique = techniqueFromName(v.at("technique").asString());
+    p.column = v.at("column").asString();
+    p.variant = v.at("variant").asString();
+    if (const JsonValue *f = v.find("features")) {
+        DvrFeatures feat;
+        feat.discovery = f->at("discovery").asBool();
+        feat.nested = f->at("nested").asBool();
+        feat.reconverge = f->at("reconverge").asBool();
+        p.features = feat;
+    }
+    p.cfg = configFromJson(v.at("cfg"));
+    const JsonValue &g = v.at("gscale");
+    p.gscale.nodes = g.at("nodes").asU64();
+    p.gscale.avg_degree = g.at("avg_degree").asU64();
+    p.gscale.seed = g.at("seed").asU64();
+    const JsonValue &h = v.at("hscale");
+    p.hscale.elements = h.at("elements").asU64();
+    p.hscale.seed = h.at("seed").asU64();
+    p.max_insts = v.at("max_insts").asU64();
+    p.warmup = v.at("warmup").asU64();
+    p.inject_fail = v.at("inject_fail").asBool();
+    p.inject_kind = p.inject_fail
+        ? injectKindFromName(v.at("inject_kind").asString())
+        : InjectKind::None;
+    return p;
+}
+
+/** FNV-1a over a byte string. */
+uint64_t
+fnv1aStr(uint64_t h, const std::string &s)
+{
+    for (unsigned char b : s) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+sanitizeForFilename(const std::string &id)
+{
+    std::string out;
+    out.reserve(id.size());
+    for (char c : id) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                  c == '=';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+SimStatus
+simStatusFromName(const std::string &name)
+{
+    static const SimStatus all[] = {
+        SimStatus::Ok, SimStatus::Fatal, SimStatus::Panic,
+        SimStatus::Hang, SimStatus::Diverged,
+    };
+    for (SimStatus s : all)
+        if (simStatusName(s) == name)
+            return s;
+    fatal("unknown run status '" + name + "' in bundle/journal");
+}
+
+std::string
+resultToJson(const SimResult &r)
+{
+    return resultToJsonBody(r);
+}
+
+SimResult
+resultFromJson(const std::string &what, const std::string &text)
+{
+    return resultFromJsonValue(JsonValue::parse(what, text));
+}
+
+std::string
+pointToJson(const RunPoint &p)
+{
+    return pointToJsonBody(p);
+}
+
+RunPoint
+pointFromJson(const std::string &what, const std::string &text)
+{
+    return pointFromJsonValue(JsonValue::parse(what, text));
+}
+
+std::string
+bundleToJson(const ReproBundle &b)
+{
+    Obj o;
+    o.field("vrsim_repro", u64(1))
+        .field("id", str(b.point.id()))
+        .field("status", str(simStatusName(b.status)))
+        .field("status_message", str(b.status_message))
+        .field("point", pointToJsonBody(b.point));
+    if (b.baseline_digest)
+        o.field("baseline_digest", digestToJson(*b.baseline_digest));
+    if (b.divergence)
+        o.field("divergence", divergenceToJson(*b.divergence));
+    return o.done();
+}
+
+ReproBundle
+bundleFromJson(const std::string &what, const std::string &text)
+{
+    JsonValue v = JsonValue::parse(what, text);
+    if (v.at("vrsim_repro").asU64() != 1)
+        fatal(what + ": unsupported repro-bundle version");
+    ReproBundle b;
+    b.status = simStatusFromName(v.at("status").asString());
+    b.status_message = v.at("status_message").asString();
+    b.point = pointFromJsonValue(v.at("point"));
+    if (const JsonValue *d = v.find("baseline_digest"))
+        b.baseline_digest = digestFromJson(*d);
+    if (const JsonValue *d = v.find("divergence"))
+        b.divergence = divergenceFromJson(*d);
+    return b;
+}
+
+std::string
+writeReproBundle(const std::string &dir, const ReproBundle &b)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create repro directory '" + dir +
+              "': " + ec.message());
+    const std::string path =
+        dir + "/" + sanitizeForFilename(b.point.id()) + ".json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        fatal("cannot write repro bundle '" + path + "'");
+    os << bundleToJson(b) << "\n";
+    os.flush();
+    if (!os)
+        fatal("error writing repro bundle '" + path + "'");
+    return path;
+}
+
+ReproBundle
+readReproBundle(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot read repro bundle '" + path + "'");
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return bundleFromJson(path, text);
+}
+
+uint64_t
+planFingerprint(const std::vector<RunPoint> &points)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const RunPoint &p : points) {
+        h = fnv1aStr(h, pointToJsonBody(p));
+        h = fnv1aStr(h, "\n");
+    }
+    return h;
+}
+
+std::string
+journalHeaderLine(uint64_t fingerprint, size_t points)
+{
+    return Obj{}
+        .field("vrsim_journal", u64(1))
+        .field("fingerprint", hex64(fingerprint))
+        .field("points", u64(points))
+        .done();
+}
+
+std::string
+journalEntryLine(size_t index, const RunPoint &point,
+                 const SimResult &result)
+{
+    return Obj{}
+        .field("index", u64(index))
+        .field("id", str(point.id()))
+        .field("result", resultToJsonBody(result))
+        .done();
+}
+
+std::vector<std::optional<SimResult>>
+loadJournal(const std::string &path, uint64_t fingerprint,
+            size_t points)
+{
+    std::vector<std::optional<SimResult>> slots(points);
+    std::ifstream is(path);
+    if (!is)
+        return slots;
+
+    std::string line;
+    if (!std::getline(is, line))
+        return slots;   // empty file: nothing to resume
+    JsonValue header = JsonValue::parse(path + " (header)", line);
+    if (header.at("vrsim_journal").asU64() != 1)
+        fatal(path + ": unsupported journal version");
+    if (hexFromJson(header.at("fingerprint")) != fingerprint ||
+        header.at("points").asU64() != points)
+        fatal(path + ": journal was written for a different plan "
+              "(fingerprint/point-count mismatch); refusing to mix "
+              "results — delete it or pass a fresh --checkpoint path");
+
+    size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue v;
+        try {
+            v = JsonValue::parse(
+                path + ":" + std::to_string(lineno), line);
+        } catch (const FatalError &e) {
+            // A torn tail means the previous run died mid-append;
+            // everything before it is still good.
+            warn(path + ": ignoring malformed journal tail at line " +
+                 std::to_string(lineno) + " (" + e.what() + ")");
+            break;
+        }
+        size_t index = size_t(v.at("index").asU64());
+        if (index >= points)
+            fatal(path + ":" + std::to_string(lineno) +
+                  ": journal entry index " + std::to_string(index) +
+                  " out of range for " + std::to_string(points) +
+                  " points");
+        slots[index] = resultFromJsonValue(v.at("result"));
+    }
+    return slots;
+}
+
+} // namespace vrsim

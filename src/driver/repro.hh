@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Crash-repro bundles and sweep journals: exact JSON round-trips of
+ * RunPoints and SimResults.
+ *
+ * A failed sweep cell is only debuggable if it can be re-run in
+ * isolation, bit-for-bit: a ReproBundle captures everything that
+ * determined the run (full SystemConfig, technique + DVR feature
+ * overrides, workload scales/seeds, budgets, injected-failure kind)
+ * plus what went wrong, and `vrsim --replay bundle.json` reconstructs
+ * and re-runs it. The same serializers back the resumable-sweep
+ * journal (sweep_runner.hh): completed cells are appended as JSON
+ * lines and restored on --resume without re-running.
+ *
+ * Round-trip exactness is the contract: u64 counters are written in
+ * decimal and re-read with the strict parser, doubles via "%.17g"
+ * (which round-trips IEEE binary64), digests as 16-digit hex. The
+ * readers are strict (sim/parse.hh) — a malformed or truncated bundle
+ * fails with a diagnostic, never replays the wrong point.
+ */
+
+#ifndef VRSIM_DRIVER_REPRO_HH
+#define VRSIM_DRIVER_REPRO_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/plan.hh"
+#include "sim/digest.hh"
+
+namespace vrsim
+{
+
+/** simStatusName's inverse; fatal() on unknown names. */
+SimStatus simStatusFromName(const std::string &name);
+
+// ---- SimResult / RunPoint round-trips ----
+
+/** Serialize a result (all statistics, digest included) as one-line
+ *  JSON. */
+std::string resultToJson(const SimResult &r);
+
+/** Parse a result serialized by resultToJson. @p what names the
+ *  document in diagnostics. */
+SimResult resultFromJson(const std::string &what,
+                         const std::string &text);
+
+/** Serialize a fully resolved grid point (config and scales included)
+ *  as one-line JSON. */
+std::string pointToJson(const RunPoint &p);
+
+/** Parse a point serialized by pointToJson. */
+RunPoint pointFromJson(const std::string &what, const std::string &text);
+
+// ---- crash-repro bundles ----
+
+/** Self-contained description of one failed run. */
+struct ReproBundle
+{
+    RunPoint point;              //!< everything needed to re-run it
+    SimStatus status = SimStatus::Ok;
+    std::string status_message;
+    /** Baseline digest the run was compared against (divergences). */
+    std::optional<DigestRecord> baseline_digest;
+    /** First mismatching interval (divergences). */
+    std::optional<DigestDivergence> divergence;
+};
+
+std::string bundleToJson(const ReproBundle &b);
+ReproBundle bundleFromJson(const std::string &what,
+                           const std::string &text);
+
+/**
+ * Write @p b under @p dir (created if needed) as
+ * `<sanitized-point-id>.json`. Returns the path written. fatal() on
+ * I/O errors.
+ */
+std::string writeReproBundle(const std::string &dir,
+                             const ReproBundle &b);
+
+/** Read and parse a bundle file; fatal() if unreadable/malformed. */
+ReproBundle readReproBundle(const std::string &path);
+
+// ---- resumable-sweep journal ----
+
+/**
+ * Order-sensitive fingerprint of a resolved plan (every point's full
+ * serialization folded into one hash). A journal records the
+ * fingerprint it was written under; --resume refuses a journal whose
+ * fingerprint differs — resuming a different plan would silently mix
+ * results.
+ */
+uint64_t planFingerprint(const std::vector<RunPoint> &points);
+
+/** The journal's first line, identifying the plan. */
+std::string journalHeaderLine(uint64_t fingerprint, size_t points);
+
+/** One completed cell: plan index + id + full result, one line. */
+std::string journalEntryLine(size_t index, const RunPoint &point,
+                             const SimResult &result);
+
+/**
+ * Load a journal written for a plan with @p points points under
+ * @p fingerprint. Returns one slot per plan index; completed cells
+ * are filled, the rest empty. fatal() on a fingerprint/size mismatch
+ * or an entry for an out-of-range index; a torn final line (the
+ * process died mid-append) is tolerated with a warn() and reading
+ * stops there. A missing file returns all-empty slots.
+ */
+std::vector<std::optional<SimResult>>
+loadJournal(const std::string &path, uint64_t fingerprint,
+            size_t points);
+
+} // namespace vrsim
+
+#endif // VRSIM_DRIVER_REPRO_HH

@@ -14,6 +14,7 @@ simStatusName(SimStatus s)
       case SimStatus::Fatal: return "fatal";
       case SimStatus::Panic: return "panic";
       case SimStatus::Hang: return "hang";
+      case SimStatus::Diverged: return "diverged";
     }
     panic("unknown SimStatus");
 }
@@ -91,6 +92,15 @@ runWorkload(Workload &w, Technique technique, SystemConfig cfg,
     OooCore core(cfg, w.prog, w.image, hier, engine.get());
     uint64_t budget = max_insts ? max_insts : w.suggested_insts;
 
+    // Differential oracle: hash the committed stream (incl. warmup,
+    // which is a timing distinction only — the committed instructions
+    // are identical across techniques by construction).
+    std::unique_ptr<StateDigest> digest;
+    if (cfg.collect_digest) {
+        digest = std::make_unique<StateDigest>(cfg.digest_interval);
+        core.setDigest(digest.get());
+    }
+
     SimResult res;
     res.workload = w.name;
     res.technique = technique;
@@ -110,6 +120,8 @@ runWorkload(Workload &w, Technique technique, SystemConfig cfg,
         res.vr = vr->stats();
     if (dvr)
         res.dvr = dvr->stats();
+    if (digest)
+        res.digest = digest->record();
     return res;
 }
 

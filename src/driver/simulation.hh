@@ -31,10 +31,11 @@ namespace vrsim
  */
 enum class SimStatus : uint8_t
 {
-    Ok,      //!< run completed, statistics are valid
-    Fatal,   //!< rejected configuration / user error (FatalError)
-    Panic,   //!< internal invariant violation (PanicError)
-    Hang,    //!< forward-progress watchdog expired (HangError)
+    Ok,       //!< run completed, statistics are valid
+    Fatal,    //!< rejected configuration / user error (FatalError)
+    Panic,    //!< internal invariant violation (PanicError)
+    Hang,     //!< forward-progress watchdog expired (HangError)
+    Diverged, //!< committed-state digest differs from the baseline's
 };
 
 /** Lower-case status name as rendered in reports and CSV. */
@@ -58,6 +59,9 @@ struct SimResult
     std::optional<PreStats> pre;
     std::optional<VrStats> vr;
     std::optional<DvrStats> dvr;
+
+    /** Committed-state digest, when cfg.collect_digest was set. */
+    std::optional<DigestRecord> digest;
 
     double ipc() const { return core.ipc(); }
 

@@ -2,13 +2,35 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "driver/repro.hh"
 #include "sim/parse.hh"
 
 namespace vrsim
 {
+
+namespace
+{
+
+/** Deterministic digest poison for InjectKind::Diverge: flips the
+ *  second half of the interval samples and the final hash so the
+ *  first-mismatching-interval localization is exercised. */
+constexpr uint64_t INJECT_POISON = 0x9e3779b97f4a7c15ull;
+
+/** Key of the baseline cell a point is differentially checked
+ *  against: same spec and config variant, OoO column. */
+std::string
+baselineKey(const RunPoint &p)
+{
+    return p.spec + "\x1f" + p.variant;
+}
+
+} // namespace
 
 unsigned
 SweepRunner::jobsFromEnv(unsigned dflt)
@@ -26,15 +48,43 @@ SimResult
 SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache)
 {
     return runGuarded(p.spec, p.technique, [&] {
-        if (p.inject_fail)
-            panic("fault injection requested for " +
-                  techniqueName(p.technique) + " (--inject-fail)");
+        const std::string inject_msg = "fault injection requested for " +
+            techniqueName(p.technique) + " (--inject-fail)";
+        if (p.inject_fail) {
+            switch (p.inject_kind) {
+              case InjectKind::Fatal:
+                fatal(inject_msg);
+              case InjectKind::Hang: {
+                ProgressSnapshot snap;
+                snap.where = "inject";
+                hang(inject_msg, std::move(snap));
+              }
+              case InjectKind::Diverge:
+                break;   // run for real below, then poison the digest
+              case InjectKind::None:
+              case InjectKind::Panic:
+                panic(inject_msg);
+            }
+        }
         // Instantiate a private copy of the cached build artifact so
         // stores in this run cannot leak into sibling points.
         Workload w = cache.instantiate(p.spec, p.gscale, p.hscale);
-        return runWorkload(w, p.technique, p.cfg, p.max_insts,
-                           p.warmup,
-                           p.features ? &*p.features : nullptr);
+        SystemConfig cfg = p.cfg;
+        if (p.inject_fail)
+            cfg.collect_digest = true;
+        SimResult r = runWorkload(w, p.technique, cfg, p.max_insts,
+                                  p.warmup,
+                                  p.features ? &*p.features : nullptr);
+        if (p.inject_fail && r.digest) {
+            // Deterministic divergence: the digest check (or a
+            // replay of the resulting bundle) must flag this cell.
+            DigestRecord &d = *r.digest;
+            for (size_t i = d.intervals.size() / 2;
+                 i < d.intervals.size(); i++)
+                d.intervals[i] ^= INJECT_POISON;
+            d.final_digest ^= INJECT_POISON;
+        }
+        return r;
     });
 }
 
@@ -43,8 +93,68 @@ SweepRunner::run(const RunPlan &plan)
 {
     std::vector<RunPoint> points = plan.points();
     std::vector<SimResult> results(points.size());
+    std::vector<char> have(points.size(), 0);
     WorkloadCache &cache =
         opts_.cache ? *opts_.cache : WorkloadCache::process();
+
+    // Differential checking collects a digest on every point and
+    // needs an OoO baseline cell per (spec, variant).
+    std::map<std::string, size_t> baseline_of;
+    if (opts_.check_digests) {
+        for (RunPoint &p : points)
+            p.cfg.collect_digest = true;
+        for (size_t i = 0; i < points.size(); i++)
+            if (points[i].technique == Technique::OoO)
+                baseline_of.emplace(baselineKey(points[i]), i);
+        for (const RunPoint &p : points)
+            if (!baseline_of.count(baselineKey(p)))
+                fatal("--check-digests: no OoO baseline column for " +
+                      p.id() + "; add Technique::OoO to the plan (the "
+                      "vrsim CLI adds it automatically)");
+    }
+
+    // Resume: restore completed cells from the journal. The journal
+    // stores each cell's pre-comparison result, so the digest pass
+    // below re-derives Diverged statuses deterministically.
+    const uint64_t fingerprint =
+        opts_.checkpoint.empty() ? 0 : planFingerprint(points);
+    if (opts_.resume) {
+        if (opts_.checkpoint.empty())
+            fatal("--resume requires --checkpoint FILE");
+        auto slots = loadJournal(opts_.checkpoint, fingerprint,
+                                 points.size());
+        size_t restored = 0;
+        for (size_t i = 0; i < slots.size(); i++) {
+            if (slots[i]) {
+                results[i] = std::move(*slots[i]);
+                have[i] = 1;
+                ++restored;
+            }
+        }
+        if (restored)
+            inform("resume: restored " + std::to_string(restored) +
+                   "/" + std::to_string(points.size()) +
+                   " completed points from " + opts_.checkpoint);
+    }
+
+    // (Re)write the journal: header plus any restored cells, so a
+    // torn tail from a killed run is compacted away and appends keep
+    // the file consistent for the next resume.
+    std::ofstream journal;
+    std::mutex journal_mutex;
+    if (!opts_.checkpoint.empty()) {
+        journal.open(opts_.checkpoint, std::ios::trunc);
+        if (!journal)
+            fatal("cannot write checkpoint journal '" +
+                  opts_.checkpoint + "'");
+        journal << journalHeaderLine(fingerprint, points.size())
+                << "\n";
+        for (size_t i = 0; i < points.size(); i++)
+            if (have[i])
+                journal << journalEntryLine(i, points[i], results[i])
+                        << "\n";
+        journal.flush();
+    }
 
     unsigned jobs = opts_.jobs ? opts_.jobs : jobsFromEnv();
     jobs = unsigned(
@@ -53,12 +163,17 @@ SweepRunner::run(const RunPlan &plan)
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     const bool progress = opts_.progress;
+    size_t todo = 0;
+    for (char h : have)
+        todo += !h;
 
     auto worker = [&] {
         for (;;) {
             size_t i = next.fetch_add(1);
             if (i >= points.size())
                 return;
+            if (have[i])
+                continue;
             const RunPoint &p = points[i];
             // Tag this thread's warn()/inform() lines with the point
             // so interleaved diagnostics stay attributable.
@@ -73,9 +188,17 @@ SweepRunner::run(const RunPlan &plan)
                 char buf[64];
                 std::snprintf(buf, sizeof(buf), "IPC %.3f", r.ipc());
                 inform("[" + std::to_string(n) + "/" +
-                       std::to_string(points.size()) + "] " + p.id() +
+                       std::to_string(todo) + "] " + p.id() +
                        " " + simStatusName(r.status) +
                        (r.ok() ? " " + std::string(buf) : ""));
+            }
+            // Journal the finished cell immediately (append-only,
+            // flushed) so a killed run loses at most the in-flight
+            // points.
+            if (journal.is_open()) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal << journalEntryLine(i, p, r) << "\n";
+                journal.flush();
             }
             // Results land at the point's plan index: the table order
             // (and all rendered output) is independent of job count
@@ -93,6 +216,71 @@ SweepRunner::run(const RunPlan &plan)
             pool.emplace_back(worker);
         for (auto &th : pool)
             th.join();
+    }
+
+    // Differential pass: compare every non-baseline cell's digest
+    // against its OoO sibling. Serial and deterministic — run after
+    // the pool so restored and fresh cells are treated identically.
+    std::vector<std::optional<DigestDivergence>> divergence(
+        points.size());
+    std::vector<const DigestRecord *> baseline_digest(points.size(),
+                                                      nullptr);
+    if (opts_.check_digests) {
+        for (size_t i = 0; i < points.size(); i++) {
+            const RunPoint &p = points[i];
+            if (p.technique == Technique::OoO)
+                continue;
+            SimResult &r = results[i];
+            if (!r.ok())
+                continue;
+            const SimResult &base =
+                results[baseline_of.at(baselineKey(p))];
+            if (!base.ok()) {
+                warn(p.id() + ": OoO baseline failed (" +
+                     simStatusName(base.status) +
+                     "); cannot differentially check this cell");
+                continue;
+            }
+            if (!r.digest || !base.digest) {
+                // Restored cells from a journal written without
+                // --check-digests have no digest to compare.
+                warn(p.id() + ": no digest collected (journal from a "
+                     "run without --check-digests?); cell unchecked");
+                continue;
+            }
+            auto div = compareDigests(*base.digest, *r.digest);
+            if (div) {
+                r.status = SimStatus::Diverged;
+                r.status_message =
+                    "committed-state digest diverged from the OoO "
+                    "baseline at " + div->toString();
+                divergence[i] = *div;
+                baseline_digest[i] = &*base.digest;
+                warn(p.id() + " failed (diverged): " +
+                     r.status_message);
+            }
+        }
+    }
+
+    // Repro bundles for every failed cell, Diverged included.
+    if (!opts_.repro_dir.empty()) {
+        for (size_t i = 0; i < points.size(); i++) {
+            const SimResult &r = results[i];
+            if (r.ok())
+                continue;
+            ReproBundle b;
+            b.point = points[i];
+            b.status = r.status;
+            b.status_message = r.status_message;
+            if (baseline_digest[i])
+                b.baseline_digest = *baseline_digest[i];
+            if (divergence[i])
+                b.divergence = divergence[i];
+            std::string path = writeReproBundle(opts_.repro_dir, b);
+            inform(points[i].id() + ": repro bundle written to " +
+                   path + " (re-run with: vrsim --replay " + path +
+                   ")");
+        }
     }
 
     return ResultTable(std::move(points), std::move(results));

@@ -5,6 +5,19 @@
  * shares one workload cache so each spec is built exactly once per
  * process, streams per-point progress to stderr, and returns results
  * in plan order — byte-identical output regardless of job count.
+ *
+ * Three robustness layers ride on top (see docs/robustness.md):
+ *  - differential checking (check_digests): every technique column's
+ *    committed-state digest is compared against its spec's OoO
+ *    baseline column; a mismatch turns that cell's status into
+ *    SimStatus::Diverged with the first mismatching interval named;
+ *  - crash-repro bundles (repro_dir): every failed cell (fatal,
+ *    panic, hang, diverged) is serialized as a self-contained JSON
+ *    bundle that `vrsim --replay` re-runs in isolation;
+ *  - resumable sweeps (checkpoint/resume): completed cells are
+ *    appended to a journal as they finish; a resumed sweep restores
+ *    them and only runs the remainder, producing a byte-identical
+ *    final table at any job count.
  */
 
 #ifndef VRSIM_DRIVER_SWEEP_RUNNER_HH
@@ -30,6 +43,29 @@ struct SweepOptions
 
     /** Workload cache to share; null = the process-wide cache. */
     WorkloadCache *cache = nullptr;
+
+    /**
+     * Differential oracle: collect a committed-state digest for every
+     * point and compare each technique column against its spec's OoO
+     * baseline column (same spec and variant). Requires the plan to
+     * contain an OoO column for every (spec, variant); fatal()
+     * otherwise. Mismatching cells get SimStatus::Diverged.
+     */
+    bool check_digests = false;
+
+    /** When nonempty, write a crash-repro bundle for every failed
+     *  cell into this directory. */
+    std::string repro_dir;
+
+    /** When nonempty, append completed cells to this journal file. */
+    std::string checkpoint;
+
+    /**
+     * Restore completed cells from `checkpoint` before running
+     * (fatal() if the journal belongs to a different plan) and only
+     * run the rest. Requires `checkpoint` to be set.
+     */
+    bool resume = false;
 };
 
 class SweepRunner
@@ -47,7 +83,12 @@ class SweepRunner
      */
     ResultTable run(const RunPlan &plan);
 
-    /** Run one already-resolved point (bypasses the pool; tests). */
+    /**
+     * Run one already-resolved point (bypasses the pool; tests and
+     * --replay). Honors the point's injected-failure kind, including
+     * Diverge (runs with digest collection and deterministically
+     * poisons the digest).
+     */
     static SimResult runPoint(const RunPoint &point,
                               WorkloadCache &cache);
 

@@ -115,8 +115,9 @@ step(const Program &prog, CpuState &state, MemoryImage &mem,
         info.is_store = true;
         info.size = 8;
         info.addr = effectiveAddress(inst, r);
+        info.dst_value = r(inst.rs3);
         if (!speculative)
-            mem.write64(info.addr, r(inst.rs3));
+            mem.write64(info.addr, info.dst_value);
         break;
       }
       case Op::St32: {
@@ -124,8 +125,9 @@ step(const Program &prog, CpuState &state, MemoryImage &mem,
         info.is_store = true;
         info.size = 4;
         info.addr = effectiveAddress(inst, r);
+        info.dst_value = uint32_t(r(inst.rs3));
         if (!speculative)
-            mem.write32(info.addr, uint32_t(r(inst.rs3)));
+            mem.write32(info.addr, uint32_t(info.dst_value));
         break;
       }
       case Op::Pref: {

@@ -55,7 +55,10 @@ struct StepInfo
     bool is_branch = false;
     bool taken = false;
     bool halted = false;
-    uint64_t dst_value = 0;   //!< value written to rd (loads: loaded value)
+    /** Value written to rd (loads: loaded value); for stores, the
+     *  value stored (possibly truncated to the access size). Consumed
+     *  by the differential StateDigest oracle. */
+    uint64_t dst_value = 0;
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/digest.hh"
+
 namespace vrsim
 {
 
@@ -262,6 +264,11 @@ DecoupledVectorRunahead::spawnNested(const StepInfo &si,
         return;
     }
     const int64_t istride = inner->stride;
+
+    // NDM and both vectorization steps below are transient subthread
+    // execution: the guard makes any commit recorded inside them
+    // panic (see sim/digest.hh).
+    ScopedSpeculation spec;
 
     // NDM: run the in-order subthread down the branch's not-taken
     // path, skipping the remaining inner-loop iterations (§4.3.1).

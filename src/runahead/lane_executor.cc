@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/digest.hh"
+
 namespace vrsim
 {
 
@@ -77,6 +79,10 @@ LaneExecutor::run(std::vector<Lane> &lanes, uint32_t stride_pc,
             (uint64_t(cfg_.subthread_timeout) + 2) * 4 +
         1024;
     uint64_t steps = 0;
+
+    // Lane execution is transient by definition: the guard makes any
+    // commit recorded inside it panic (see sim/digest.hh).
+    ScopedSpeculation spec;
 
     while (true) {
         if (++steps > step_limit) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "sim/digest.hh"
+
 namespace vrsim
 {
 
@@ -32,6 +34,10 @@ PreEngine::onFullRobStall(Cycle stall_start, Cycle head_fill,
     const Cycle interval_end = head_fill;
     const uint32_t width = cfg_.core.width;
     uint64_t walked = 0;
+
+    // Everything below is transient pre-execution: the guard makes
+    // any commit recorded inside it panic (see sim/digest.hh).
+    ScopedSpeculation spec;
 
     while (!ctx.halted && walked < cfg_.runahead.pre_chain_cap) {
         // Front-end supply: instruction `walked` arrives at this time.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/digest.hh"
+
 namespace vrsim
 {
 
@@ -26,6 +28,11 @@ VectorRunahead::onFullRobStall(Cycle stall_start, Cycle head_fill,
                   // future iterations are on the correct path even
                   // when the trigger came from a wrong-path window.
     ++stats_.triggers;
+
+    // The whole runahead interval (scan + vectorized lanes) is
+    // transient execution: the guard makes any commit recorded inside
+    // it panic (see sim/digest.hh).
+    ScopedSpeculation spec;
 
     // Runahead mode: transiently execute the future instruction
     // stream from the fetch frontier until a striding load is found

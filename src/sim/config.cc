@@ -163,6 +163,11 @@ SystemConfig::validate(bool verbose) const
                   " (paper Table 1 budget is 1139 bytes)");
     }
 
+    // ---- differential oracle ----
+    if (collect_digest && digest_interval == 0)
+        reject("digest_interval", digest_interval,
+               "digest collection needs a nonzero sampling interval");
+
     // ---- suspicious-but-legal values ----
     if (!verbose)
         return;
@@ -197,6 +202,26 @@ techniqueName(Technique t)
       case Technique::Oracle: return "Oracle";
     }
     panic("unknown technique");
+}
+
+Technique
+techniqueFromName(const std::string &name)
+{
+    static const Technique all[] = {
+        Technique::OoO,         Technique::Pre,
+        Technique::Imp,         Technique::Vr,
+        Technique::DvrOffload,  Technique::DvrDiscovery,
+        Technique::Dvr,         Technique::Oracle,
+    };
+    std::string valid;
+    for (Technique t : all) {
+        if (techniqueName(t) == name)
+            return t;
+        if (!valid.empty())
+            valid += ", ";
+        valid += techniqueName(t);
+    }
+    fatal("unknown technique '" + name + "' (valid: " + valid + ")");
 }
 
 SystemConfig

@@ -132,6 +132,13 @@ enum class Technique
 /** Printable name of a technique, as used in the paper's figures. */
 std::string techniqueName(Technique t);
 
+/**
+ * Inverse of techniqueName: parse a technique from its printable name
+ * (case-sensitive, e.g. "DVR-Offload"). fatal() on unknown names,
+ * listing the valid ones. Shared by the CLI and repro-bundle replay.
+ */
+Technique techniqueFromName(const std::string &name);
+
 /** Complete system configuration for one simulation. */
 struct SystemConfig
 {
@@ -158,6 +165,21 @@ struct SystemConfig
      * benchmark ROI) so it only fires on genuinely wedged runs.
      */
     uint64_t watchdog_cycles = 100'000'000;
+
+    /**
+     * Collect a StateDigest over the committed instruction stream
+     * (see sim/digest.hh). Off by default: hashing every retirement
+     * costs a few percent of simulation speed, so only differential
+     * runs (`--check-digests`) and replay pay for it.
+     */
+    bool collect_digest = false;
+
+    /**
+     * Retired instructions per interval digest sample when
+     * collect_digest is set. Smaller intervals localize a divergence
+     * more tightly at the cost of a longer digest record.
+     */
+    uint64_t digest_interval = 8192;
 
     /**
      * Cheap always-on invariant checks (MSHR busy-integral

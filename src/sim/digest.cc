@@ -1,0 +1,99 @@
+#include "sim/digest.hh"
+
+#include <algorithm>
+
+namespace vrsim
+{
+
+namespace
+{
+
+/** FNV-1a over one 64-bit word, byte by byte. */
+inline uint64_t
+fnv1a64(uint64_t h, uint64_t word)
+{
+    for (int i = 0; i < 8; i++) {
+        h ^= (word >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;  // FNV prime
+    }
+    return h;
+}
+
+} // namespace
+
+void
+StateDigest::retire(const CommitRecord &cr)
+{
+    panicIfNot(ScopedSpeculation::current() == 0,
+               "commit recorded inside a speculative-execution scope: "
+               "transient runahead state leaked into the committed "
+               "stream");
+    // Tag each field class so (pc, value) pairs cannot alias between
+    // register writebacks and stores.
+    uint64_t h = hash_;
+    h = fnv1a64(h, cr.pc);
+    if (cr.writes_reg) {
+        h = fnv1a64(h, 0x01ull | (uint64_t(cr.reg) << 8));
+        h = fnv1a64(h, cr.reg_value);
+    }
+    if (cr.is_store) {
+        h = fnv1a64(h, 0x02ull);
+        h = fnv1a64(h, cr.store_addr);
+        h = fnv1a64(h, cr.store_value);
+    }
+    hash_ = h;
+    if (++insts_ % interval_ == 0)
+        intervals_.push_back(hash_);
+}
+
+DigestRecord
+StateDigest::record() const
+{
+    DigestRecord r;
+    r.interval = interval_;
+    r.instructions = insts_;
+    r.final_digest = hash_;
+    r.intervals = intervals_;
+    return r;
+}
+
+std::optional<DigestDivergence>
+compareDigests(const DigestRecord &baseline, const DigestRecord &run)
+{
+    DigestDivergence d;
+    if (baseline.interval != run.interval) {
+        // Incomparable sampling: treat as divergence over the whole
+        // run rather than guessing a window.
+        d.inst_hi = std::max(baseline.instructions, run.instructions);
+        d.expected = baseline.final_digest;
+        d.actual = run.final_digest;
+        return d;
+    }
+    const size_t n =
+        std::min(baseline.intervals.size(), run.intervals.size());
+    for (size_t i = 0; i < n; i++) {
+        if (baseline.intervals[i] != run.intervals[i]) {
+            d.interval_index = i;
+            d.inst_lo = i * baseline.interval;
+            d.inst_hi = (i + 1) * baseline.interval;
+            d.expected = baseline.intervals[i];
+            d.actual = run.intervals[i];
+            return d;
+        }
+    }
+    if (baseline.instructions != run.instructions ||
+        baseline.final_digest != run.final_digest ||
+        baseline.intervals.size() != run.intervals.size()) {
+        // Diverged in (or truncated within) the tail past the last
+        // common interval sample.
+        d.interval_index = n;
+        d.inst_lo = n * baseline.interval;
+        d.inst_hi = std::max(baseline.instructions, run.instructions);
+        d.expected = baseline.final_digest;
+        d.actual = run.final_digest;
+        return d;
+    }
+    return std::nullopt;
+}
+
+} // namespace vrsim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Differential correctness oracle: an incremental hash over the
+ * committed architectural effects of a run.
+ *
+ * Runahead is microarchitectural only — PRE/VR/DVR may prefetch and
+ * speculate, but the committed instruction stream (program-order
+ * register writebacks and store values) of any technique must be
+ * bit-identical to the plain OoO baseline's. The StateDigest makes
+ * that contract checkable: the core's commit path feeds it every
+ * retired instruction, it folds the architecturally visible effects
+ * into a running 64-bit hash, and records the hash at fixed
+ * instruction intervals so a divergence can be localized to an
+ * instruction window instead of "somewhere in 150k instructions".
+ *
+ * The speculation guard half of the contract lives here too: runahead
+ * engines bracket their transient execution in a ScopedSpeculation,
+ * and StateDigest::retire() panics if a commit is recorded while any
+ * speculation scope is open — committed state must never originate
+ * inside transient execution.
+ */
+
+#ifndef VRSIM_SIM_DIGEST_HH
+#define VRSIM_SIM_DIGEST_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+/**
+ * The architecturally visible effects of one committed instruction,
+ * as fed to the digest by the core's commit path. A plain-old-data
+ * mirror of the StepInfo fields that matter architecturally, so the
+ * digest layer (src/sim) needs no ISA types.
+ */
+struct CommitRecord
+{
+    uint32_t pc = 0;
+    bool writes_reg = false;
+    uint8_t reg = 0;            //!< destination register if writes_reg
+    uint64_t reg_value = 0;     //!< value written to reg
+    bool is_store = false;
+    uint64_t store_addr = 0;    //!< effective address if is_store
+    uint64_t store_value = 0;   //!< value stored if is_store
+};
+
+/** The finished digest of one run's committed stream. */
+struct DigestRecord
+{
+    uint64_t interval = 0;      //!< instructions per interval digest
+    uint64_t instructions = 0;  //!< retired instructions covered
+    uint64_t final_digest = 0;  //!< hash after the last instruction
+    /** Running hash sampled after each full interval, in order. */
+    std::vector<uint64_t> intervals;
+
+    bool
+    operator==(const DigestRecord &o) const
+    {
+        return interval == o.interval &&
+               instructions == o.instructions &&
+               final_digest == o.final_digest &&
+               intervals == o.intervals;
+    }
+};
+
+/**
+ * Where two digests first disagree: the interval index and the
+ * retired-instruction window [inst_lo, inst_hi) it covers, plus the
+ * two hash values, so the bug is localized to a replayable window.
+ */
+struct DigestDivergence
+{
+    uint64_t interval_index = 0;
+    uint64_t inst_lo = 0;
+    uint64_t inst_hi = 0;
+    uint64_t expected = 0;  //!< baseline hash of the window
+    uint64_t actual = 0;    //!< diverged run's hash
+
+    std::string
+    toString() const
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "interval %llu (insts [%llu, %llu)): "
+                      "digest %016llx != baseline %016llx",
+                      (unsigned long long)interval_index,
+                      (unsigned long long)inst_lo,
+                      (unsigned long long)inst_hi,
+                      (unsigned long long)actual,
+                      (unsigned long long)expected);
+        return buf;
+    }
+};
+
+/** Incremental committed-state hasher. */
+class StateDigest
+{
+  public:
+    /** @param interval retired instructions per interval sample. */
+    explicit StateDigest(uint64_t interval = 8192)
+        : interval_(interval)
+    {
+        panicIfNot(interval_ != 0,
+                   "StateDigest interval must be nonzero");
+    }
+
+    /** Fold one committed instruction into the digest. */
+    void retire(const CommitRecord &cr);
+
+    /** Finish and return the record (callable once per run). */
+    DigestRecord record() const;
+
+    uint64_t instructions() const { return insts_; }
+
+  private:
+    uint64_t interval_;
+    uint64_t insts_ = 0;
+    uint64_t hash_ = 0xcbf29ce484222325ull;  //!< FNV-1a offset basis
+    std::vector<uint64_t> intervals_;
+};
+
+/**
+ * Compare a run's digest against the baseline's, localizing the first
+ * mismatching interval. Returns nullopt when the digests agree.
+ */
+std::optional<DigestDivergence>
+compareDigests(const DigestRecord &baseline, const DigestRecord &run);
+
+/**
+ * RAII commit-visibility guard: runahead engines open one around any
+ * transient (speculative) execution region. While at least one scope
+ * is open on the thread, StateDigest::retire() panics — a commit
+ * recorded inside transient execution means speculative state leaked
+ * into the architectural stream.
+ */
+class ScopedSpeculation
+{
+  public:
+    ScopedSpeculation() { ++depth(); }
+    ~ScopedSpeculation() { --depth(); }
+    ScopedSpeculation(const ScopedSpeculation &) = delete;
+    ScopedSpeculation &operator=(const ScopedSpeculation &) = delete;
+
+    /** Open speculation scopes on the calling thread. */
+    static uint32_t
+    current()
+    {
+        return depth();
+    }
+
+  private:
+    static uint32_t &
+    depth()
+    {
+        thread_local uint32_t d = 0;
+        return d;
+    }
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_SIM_DIGEST_HH

@@ -5,8 +5,15 @@
  * panic() is for internal simulator bugs (aborts); fatal() is for user
  * or configuration errors (clean exit); hang() is for forward-progress
  * watchdog expiry (a run that stopped retiring/draining); warn()/
- * inform() report status. See docs/robustness.md for the taxonomy and
- * the exit codes the tools map each class to.
+ * inform() report status. All output and all error messages raised
+ * while a sweep worker is executing a point are tagged with that
+ * point's ID (see setLogContext), so parallel-sweep diagnostics stay
+ * attributable. warn() is rate-limited per call-site: the first
+ * occurrence prints, later occurrences are counted and summarized at
+ * process exit, so a pathological grid point cannot flood the
+ * mutex-serialized log and stall sibling workers. See
+ * docs/robustness.md for the taxonomy and the exit codes the tools
+ * map each class to.
  */
 
 #ifndef VRSIM_SIM_LOGGING_HH
@@ -15,12 +22,68 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
+#include <source_location>
 #include <stdexcept>
 #include <string>
 
 namespace vrsim
 {
+
+namespace log_detail
+{
+
+/** One process-wide mutex so concurrent sweep workers cannot
+ *  interleave half-lines on stderr. */
+inline std::mutex &
+mutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Per-thread tag naming the sweep point this thread is running. */
+inline std::string &
+tag()
+{
+    thread_local std::string t;
+    return t;
+}
+
+} // namespace log_detail
+
+/**
+ * Label all warn()/inform() output — and the messages of any
+ * FatalError/PanicError/HangError raised — by the calling thread with
+ * @p tag (the sweep-point ID while a SweepRunner worker executes a
+ * point). An empty tag restores untagged output.
+ */
+inline void
+setLogContext(std::string tag)
+{
+    log_detail::tag() = std::move(tag);
+}
+
+/** The calling thread's current log tag ("" when unset). */
+inline const std::string &
+logContext()
+{
+    return log_detail::tag();
+}
+
+namespace log_detail
+{
+
+/** "[tag] msg" when a log context is set, plain msg otherwise. */
+inline std::string
+tagged(const std::string &msg)
+{
+    const std::string &t = tag();
+    return t.empty() ? msg : "[" + t + "] " + msg;
+}
+
+} // namespace log_detail
 
 /** Exception thrown by panic() so tests can assert on invariants. */
 class PanicError : public std::logic_error
@@ -42,6 +105,7 @@ class FatalError : public std::runtime_error
  */
 struct ProgressSnapshot
 {
+    std::string point;           //!< sweep-point ID (logContext) if any
     std::string where;           //!< which loop fired (core, lanes, ...)
     uint64_t pc = 0;             //!< architectural PC at expiry
     uint64_t retired = 0;        //!< instructions retired so far
@@ -52,7 +116,8 @@ struct ProgressSnapshot
     std::string
     toString() const
     {
-        return where + " pc=" + std::to_string(pc) +
+        return (point.empty() ? "" : "point=" + point + " ") + where +
+               " pc=" + std::to_string(pc) +
                " retired=" + std::to_string(retired) +
                " cycles=" + std::to_string(cycles) +
                " rob=" + std::to_string(rob_occupancy) +
@@ -79,10 +144,16 @@ class HangError : public std::runtime_error
     ProgressSnapshot snapshot_;
 };
 
-/** Report a forward-progress watchdog expiry. */
+/**
+ * Report a forward-progress watchdog expiry. The snapshot (and hence
+ * the report) is stamped with the running point ID so watchdog
+ * expiries from parallel sweeps are attributable.
+ */
 [[noreturn]] inline void
 hang(const std::string &msg, ProgressSnapshot snap)
 {
+    if (snap.point.empty())
+        snap.point = logContext();
     throw HangError("hang: " + msg, std::move(snap));
 }
 
@@ -95,55 +166,41 @@ hang(const std::string &msg, ProgressSnapshot snap)
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    throw PanicError("panic: " + msg);
+    throw PanicError("panic: " + log_detail::tagged(msg));
 }
 
 /** Report an unrecoverable user/configuration error. */
 [[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    throw FatalError("fatal: " + msg);
+    throw FatalError("fatal: " + log_detail::tagged(msg));
 }
 
 namespace log_detail
 {
 
-/** One process-wide mutex so concurrent sweep workers cannot
- *  interleave half-lines on stderr. */
-inline std::mutex &
-mutex()
+/** Per-call-site warn occurrence counts (guarded by mutex()). */
+inline std::map<std::string, uint64_t> &
+warnSites()
 {
-    static std::mutex m;
+    static std::map<std::string, uint64_t> m;
     return m;
 }
 
-/** Per-thread tag naming the sweep point this thread is running. */
-inline std::string &
-tag()
+/** "file:line" key identifying one warn() call site. */
+inline std::string
+siteKey(const std::source_location &loc)
 {
-    thread_local std::string t;
-    return t;
+    const char *file = loc.file_name();
+    // Basename only: full build paths add noise and differ between
+    // checkouts.
+    for (const char *p = file; *p; p++)
+        if (*p == '/')
+            file = p + 1;
+    return std::string(file) + ":" + std::to_string(loc.line());
 }
 
 } // namespace log_detail
-
-/**
- * Label all warn()/inform() output of the calling thread with @p tag
- * (the sweep-point ID while a SweepRunner worker executes a point).
- * An empty tag restores untagged output.
- */
-inline void
-setLogContext(std::string tag)
-{
-    log_detail::tag() = std::move(tag);
-}
-
-/** The calling thread's current log tag ("" when unset). */
-inline const std::string &
-logContext()
-{
-    return log_detail::tag();
-}
 
 /** Serialized, context-tagged line writer behind warn()/inform(). */
 inline void
@@ -158,11 +215,71 @@ logLine(const char *prefix, const std::string &msg)
                      msg.c_str());
 }
 
-/** Report suspicious but survivable conditions. */
+/**
+ * Print the end-of-run warning summary: one line per call site whose
+ * warnings were suppressed by the rate limiter, with the total count.
+ * Registered via atexit the first time a site repeats; tests may call
+ * it directly.
+ */
 inline void
-warn(const std::string &msg)
+printWarnSummary()
 {
-    logLine("warn", msg);
+    std::lock_guard<std::mutex> lock(log_detail::mutex());
+    for (const auto &kv : log_detail::warnSites()) {
+        if (kv.second > 1)
+            std::fprintf(stderr,
+                         "warn-summary: %s warned %llu times "
+                         "(%llu suppressed)\n",
+                         kv.first.c_str(),
+                         (unsigned long long)kv.second,
+                         (unsigned long long)(kv.second - 1));
+    }
+}
+
+/** Drop all per-site warn counts (tests). */
+inline void
+resetWarnRateLimit()
+{
+    std::lock_guard<std::mutex> lock(log_detail::mutex());
+    log_detail::warnSites().clear();
+}
+
+/** Times the call site at @p loc has warned so far (tests). */
+inline uint64_t
+warnCount(const std::source_location loc =
+              std::source_location::current())
+{
+    std::lock_guard<std::mutex> lock(log_detail::mutex());
+    auto &sites = log_detail::warnSites();
+    auto it = sites.find(log_detail::siteKey(loc));
+    return it == sites.end() ? 0 : it->second;
+}
+
+/**
+ * Report a suspicious but survivable condition. Rate-limited per call
+ * site (warn-once-then-count): the first occurrence prints, the second
+ * prints once more with a suppression notice, and later occurrences
+ * are only counted; printWarnSummary() reports the totals at process
+ * exit.
+ */
+inline void
+warn(const std::string &msg, const std::source_location loc =
+                                 std::source_location::current())
+{
+    uint64_t n;
+    {
+        std::lock_guard<std::mutex> lock(log_detail::mutex());
+        n = ++log_detail::warnSites()[log_detail::siteKey(loc)];
+    }
+    if (n == 1) {
+        logLine("warn", msg);
+    } else if (n == 2) {
+        static std::once_flag once;
+        std::call_once(once, [] { std::atexit(printWarnSummary); });
+        logLine("warn", msg + " [" + log_detail::siteKey(loc) +
+                            " repeats; further occurrences counted, "
+                            "summary at exit]");
+    }
 }
 
 /** Report normal operational status. */

@@ -1,6 +1,7 @@
 #include "sim/parse.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -36,6 +37,20 @@ parseU32(const std::string &what, const char *s)
     return uint32_t(v);
 }
 
+double
+parseF64(const std::string &what, const char *s)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        fatal("invalid value for " + what + ": '" + s +
+              "' (expected a number)");
+    if (errno == ERANGE)
+        fatal("value for " + what + " out of range: '" + s + "'");
+    return v;
+}
+
 uint64_t
 envU64(const char *name, uint64_t dflt)
 {
@@ -43,6 +58,349 @@ envU64(const char *name, uint64_t dflt)
     if (!v)
         return dflt;
     return parseU64(name, v);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Recursive-descent JSON reader. Covers the subset vrsim writes:
+ * null, true/false, numbers, strings with the escapes jsonEscape
+ * emits (plus \uXXXX for control characters), arrays and objects.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &what, const std::string &text)
+        : what_(what), s_(text)
+    {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        fatal(what_ + ": JSON parse error at byte " +
+              std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of document");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        JsonValue v;
+        v.what_ = what_;
+        switch (peek()) {
+          case 'n':
+            if (!consume("null"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::Null;
+            return v;
+          case 't':
+            if (!consume("true"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = true;
+            return v;
+          case 'f':
+            if (!consume("false"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = false;
+            return v;
+          case '"':
+            v.kind_ = JsonValue::Kind::String;
+            v.scalar_ = string();
+            return v;
+          case '[':
+            return array();
+          case '{':
+            return object();
+          default:
+            return number();
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= h - '0';
+                    else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+                    else fail("bad hex digit in \\u escape");
+                }
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out += char(code);
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        JsonValue v;
+        v.what_ = what_;
+        v.kind_ = JsonValue::Kind::Number;
+        v.scalar_ = s_.substr(start, pos_ - start);
+        // Validate the token now so access never surprises later.
+        parseF64(what_ + " (number)", v.scalar_.c_str());
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.what_ = what_;
+        v.kind_ = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.what_ = what_;
+        v.kind_ = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            if (!v.object_.emplace(key, value()).second)
+                fail("duplicate object key '" + key + "'");
+            v.keys_.push_back(std::move(key));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &what_;
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &what, const std::string &text)
+{
+    return JsonParser(what, text).document();
+}
+
+void
+JsonValue::typeError(const char *wanted) const
+{
+    static const char *names[] = {"null", "bool", "number", "string",
+                                  "array", "object"};
+    fatal(what_ + ": expected " + wanted + ", got " +
+          names[size_t(kind_)]);
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        typeError("bool");
+    return bool_;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number)
+        typeError("number");
+    return parseU64(what_, scalar_.c_str());
+}
+
+double
+JsonValue::asF64() const
+{
+    if (kind_ != Kind::Number)
+        typeError("number");
+    return parseF64(what_, scalar_.c_str());
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        typeError("string");
+    return scalar_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        typeError("array");
+    return array_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal(what_ + ": missing required key '" + key + "'");
+    return *v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        typeError("object");
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string> &
+JsonValue::keys() const
+{
+    if (kind_ != Kind::Object)
+        typeError("object");
+    return keys_;
 }
 
 } // namespace vrsim

@@ -178,6 +178,7 @@ TEST(GuardrailTest, StatusNames)
     EXPECT_STREQ(simStatusName(SimStatus::Fatal), "fatal");
     EXPECT_STREQ(simStatusName(SimStatus::Panic), "panic");
     EXPECT_STREQ(simStatusName(SimStatus::Hang), "hang");
+    EXPECT_STREQ(simStatusName(SimStatus::Diverged), "diverged");
 }
 
 } // namespace

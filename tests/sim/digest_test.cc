@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the differential-oracle primitives: StateDigest
+ * determinism, interval sampling, sensitivity to every architectural
+ * field, divergence localization, and the ScopedSpeculation
+ * commit-visibility guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/digest.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+CommitRecord
+regWrite(uint32_t pc, uint8_t reg, uint64_t value)
+{
+    CommitRecord cr;
+    cr.pc = pc;
+    cr.writes_reg = true;
+    cr.reg = reg;
+    cr.reg_value = value;
+    return cr;
+}
+
+CommitRecord
+store(uint32_t pc, uint64_t addr, uint64_t value)
+{
+    CommitRecord cr;
+    cr.pc = pc;
+    cr.is_store = true;
+    cr.store_addr = addr;
+    cr.store_value = value;
+    return cr;
+}
+
+/** A short synthetic committed stream with varied record shapes. */
+std::vector<CommitRecord>
+stream(size_t n)
+{
+    std::vector<CommitRecord> s;
+    for (size_t i = 0; i < n; i++) {
+        if (i % 3 == 2)
+            s.push_back(store(uint32_t(i * 4), 0x1000 + i * 8,
+                              i * 0x9e37));
+        else
+            s.push_back(regWrite(uint32_t(i * 4), uint8_t(i % 32),
+                                 i * 0x85eb));
+    }
+    return s;
+}
+
+DigestRecord
+digestOf(const std::vector<CommitRecord> &s, uint64_t interval = 8192)
+{
+    StateDigest d(interval);
+    for (const CommitRecord &cr : s)
+        d.retire(cr);
+    return d.record();
+}
+
+TEST(StateDigestTest, DeterministicAcrossRuns)
+{
+    std::vector<CommitRecord> s = stream(100);
+    EXPECT_EQ(digestOf(s), digestOf(s));
+}
+
+TEST(StateDigestTest, IntervalSampling)
+{
+    DigestRecord r = digestOf(stream(10), 4);
+    EXPECT_EQ(r.interval, 4u);
+    EXPECT_EQ(r.instructions, 10u);
+    ASSERT_EQ(r.intervals.size(), 2u);
+    // Running hash: each sample extends the previous one.
+    EXPECT_NE(r.intervals[0], r.intervals[1]);
+    // Two tail instructions past the last sample are still covered.
+    EXPECT_NE(r.final_digest, r.intervals[1]);
+}
+
+TEST(StateDigestTest, ExactMultipleLeavesNoTail)
+{
+    DigestRecord r = digestOf(stream(8), 4);
+    ASSERT_EQ(r.intervals.size(), 2u);
+    EXPECT_EQ(r.final_digest, r.intervals[1]);
+}
+
+TEST(StateDigestTest, SensitiveToEveryArchitecturalField)
+{
+    std::vector<CommitRecord> s = stream(20);
+    const DigestRecord base = digestOf(s);
+
+    auto perturbed = [&](auto mutate) {
+        std::vector<CommitRecord> t = s;
+        mutate(t);
+        return digestOf(t);
+    };
+
+    EXPECT_NE(base, perturbed([](auto &t) { t[7].reg_value ^= 1; }));
+    EXPECT_NE(base, perturbed([](auto &t) { t[7].reg ^= 1; }));
+    EXPECT_NE(base, perturbed([](auto &t) { t[7].pc ^= 4; }));
+    EXPECT_NE(base, perturbed([](auto &t) { t[8].store_value ^= 1; }));
+    EXPECT_NE(base, perturbed([](auto &t) { t[8].store_addr ^= 8; }));
+}
+
+TEST(StateDigestTest, RegWriteAndStoreDoNotAlias)
+{
+    // Same pc and same 64-bit payload, different field class: the
+    // class tags must keep the hashes apart.
+    DigestRecord as_reg = digestOf({regWrite(0x40, 0, 0xabcd)});
+    DigestRecord as_store = digestOf({store(0x40, 0, 0xabcd)});
+    EXPECT_NE(as_reg.final_digest, as_store.final_digest);
+}
+
+TEST(StateDigestTest, OrderMatters)
+{
+    std::vector<CommitRecord> s = stream(6);
+    std::vector<CommitRecord> swapped = s;
+    std::swap(swapped[1], swapped[4]);
+    EXPECT_NE(digestOf(s), digestOf(swapped));
+}
+
+TEST(StateDigestTest, ZeroIntervalPanics)
+{
+    EXPECT_THROW(StateDigest(0), PanicError);
+}
+
+TEST(CompareDigestsTest, EqualDigestsAgree)
+{
+    DigestRecord r = digestOf(stream(50), 8);
+    EXPECT_FALSE(compareDigests(r, r).has_value());
+}
+
+TEST(CompareDigestsTest, LocalizesFirstMismatchingInterval)
+{
+    DigestRecord base = digestOf(stream(50), 8);
+    DigestRecord run = base;
+    ASSERT_GE(run.intervals.size(), 4u);
+    run.intervals[2] ^= 0xdead;
+    run.intervals[3] ^= 0xbeef;
+    run.final_digest ^= 0xf00d;
+
+    auto div = compareDigests(base, run);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->interval_index, 2u);
+    EXPECT_EQ(div->inst_lo, 16u);
+    EXPECT_EQ(div->inst_hi, 24u);
+    EXPECT_EQ(div->expected, base.intervals[2]);
+    EXPECT_EQ(div->actual, run.intervals[2]);
+    EXPECT_NE(div->toString().find("insts [16, 24)"),
+              std::string::npos);
+}
+
+TEST(CompareDigestsTest, TailOnlyDivergence)
+{
+    DigestRecord base = digestOf(stream(50), 8);
+    DigestRecord run = base;
+    run.final_digest ^= 1;  // diverged after the last sample
+
+    auto div = compareDigests(base, run);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->interval_index, base.intervals.size());
+    EXPECT_EQ(div->inst_lo, base.intervals.size() * 8);
+    EXPECT_EQ(div->inst_hi, 50u);
+}
+
+TEST(CompareDigestsTest, TruncatedRunDiverges)
+{
+    DigestRecord base = digestOf(stream(50), 8);
+    DigestRecord run = digestOf(stream(30), 8);
+    auto div = compareDigests(base, run);
+    ASSERT_TRUE(div.has_value());
+    // Streams agree while both ran; the divergence is the missing
+    // tail.
+    EXPECT_EQ(div->interval_index, run.intervals.size());
+    EXPECT_EQ(div->inst_hi, 50u);
+}
+
+TEST(CompareDigestsTest, IntervalMismatchIsWholeRunDivergence)
+{
+    DigestRecord base = digestOf(stream(50), 8);
+    DigestRecord run = digestOf(stream(50), 16);
+    auto div = compareDigests(base, run);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->inst_lo, 0u);
+    EXPECT_EQ(div->inst_hi, 50u);
+}
+
+TEST(ScopedSpeculationTest, GuardsRetireAndNests)
+{
+    StateDigest d;
+    EXPECT_EQ(ScopedSpeculation::current(), 0u);
+    {
+        ScopedSpeculation outer;
+        EXPECT_EQ(ScopedSpeculation::current(), 1u);
+        EXPECT_THROW(d.retire(regWrite(0, 1, 2)), PanicError);
+        {
+            ScopedSpeculation inner;
+            EXPECT_EQ(ScopedSpeculation::current(), 2u);
+            EXPECT_THROW(d.retire(regWrite(0, 1, 2)), PanicError);
+        }
+        EXPECT_THROW(d.retire(regWrite(0, 1, 2)), PanicError);
+    }
+    EXPECT_EQ(ScopedSpeculation::current(), 0u);
+    EXPECT_NO_THROW(d.retire(regWrite(0, 1, 2)));
+    EXPECT_EQ(d.instructions(), 1u);
+}
+
+} // namespace
+} // namespace vrsim

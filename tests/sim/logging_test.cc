@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the logging layer's robustness features: per-thread log
+ * context tagging of errors and the per-call-site warn rate limiter
+ * (warn-once-then-count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <source_location>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+/** Restore a clean logging state around each test. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setLogContext("");
+        resetWarnRateLimit();
+    }
+    void TearDown() override
+    {
+        setLogContext("");
+        resetWarnRateLimit();
+    }
+};
+
+TEST_F(LoggingTest, PanicAndFatalCarryLogContext)
+{
+    setLogContext("camel:VR");
+    try {
+        panic("window invariant violated");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("[camel:VR]"),
+                  std::string::npos);
+    }
+    try {
+        fatal("bad config");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("[camel:VR]"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, ClearedContextLeavesMessagesUntagged)
+{
+    setLogContext("camel:VR");
+    setLogContext("");
+    try {
+        panic("plain");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_EQ(std::string(e.what()).find('['), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, HangSnapshotIsStampedWithContext)
+{
+    setLogContext("hj2:DVR");
+    ProgressSnapshot snap;
+    snap.where = "core";
+    try {
+        hang("no retirement", std::move(snap));
+        FAIL() << "hang did not throw";
+    } catch (const HangError &e) {
+        EXPECT_EQ(e.progress().point, "hj2:DVR");
+        EXPECT_NE(std::string(e.what()).find("point=hj2:DVR"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, HangKeepsExplicitlyStampedPoint)
+{
+    setLogContext("ignored:context");
+    ProgressSnapshot snap;
+    snap.point = "explicit:point";
+    snap.where = "lanes";
+    try {
+        hang("wedged", std::move(snap));
+        FAIL() << "hang did not throw";
+    } catch (const HangError &e) {
+        EXPECT_EQ(e.progress().point, "explicit:point");
+    }
+}
+
+TEST_F(LoggingTest, LogContextIsPerThread)
+{
+    setLogContext("main:thread");
+    std::string other;
+    std::thread t([&] { other = logContext(); });
+    t.join();
+    EXPECT_EQ(other, "");
+    EXPECT_EQ(logContext(), "main:thread");
+}
+
+TEST_F(LoggingTest, WarnCountsPerCallSite)
+{
+    const auto site = std::source_location::current();
+    EXPECT_EQ(warnCount(site), 0u);
+    for (int i = 0; i < 5; i++)
+        warn("flooding warning for the rate-limit test", site);
+    // All five occurrences are counted even though only the first two
+    // lines were printed.
+    EXPECT_EQ(warnCount(site), 5u);
+
+    const auto other = std::source_location::current();
+    warn("a different call site is limited independently", other);
+    EXPECT_EQ(warnCount(other), 1u);
+    EXPECT_EQ(warnCount(site), 5u);
+}
+
+TEST_F(LoggingTest, ResetClearsWarnCounts)
+{
+    const auto site = std::source_location::current();
+    warn("counted once", site);
+    EXPECT_EQ(warnCount(site), 1u);
+    resetWarnRateLimit();
+    EXPECT_EQ(warnCount(site), 0u);
+}
+
+TEST_F(LoggingTest, WarnSummaryRunsCleanly)
+{
+    const auto site = std::source_location::current();
+    for (int i = 0; i < 3; i++)
+        warn("suppressed twice, summarized at exit", site);
+    // Summary printing must not disturb the counts it reports.
+    printWarnSummary();
+    EXPECT_EQ(warnCount(site), 3u);
+}
+
+} // namespace
+} // namespace vrsim

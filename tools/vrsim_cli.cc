@@ -24,8 +24,24 @@
  *     --elems N           hpc-db elements (default 65536)
  *     --watchdog-cycles N forward-progress watchdog bound (0 = off)
  *     --keep-going        record failed runs in a sweep and continue
- *     --inject-fail NAME  fault injection: panic the named technique's
- *                         run (exercises --keep-going in tests)
+ *     --inject-fail NAME[:KIND]
+ *                         fault injection: fail the named technique's
+ *                         run with KIND = fatal|panic|hang|diverge
+ *                         (default panic); exercises the robustness
+ *                         machinery end to end
+ *     --check-digests     differential oracle: hash every run's
+ *                         committed stream and compare each technique
+ *                         against the OoO baseline (added implicitly);
+ *                         a mismatch is SimStatus::Diverged (exit 70)
+ *     --digest-interval N retired instructions per digest sample
+ *                         (default 8192)
+ *     --repro-dir DIR     write a crash-repro bundle for every failed
+ *                         run into DIR
+ *     --replay BUNDLE     re-run the exact point a repro bundle
+ *                         describes and exit with its status's code
+ *     --checkpoint FILE   journal completed sweep points to FILE
+ *     --resume            restore completed points from --checkpoint
+ *                         and run only the rest
  *     --paper-caches      full Table-1 L2/L3 instead of bench scaling
  *     --format FMT        table (default) | csv | json
  *     --csv               alias for --format csv
@@ -33,13 +49,15 @@
  *
  * Exit codes (see docs/robustness.md):
  *   0 success; 1 fatal (bad configuration / failed runs under
- *   --keep-going); 2 usage; 70 internal panic or watchdog hang.
+ *   --keep-going); 2 usage; 70 internal panic, watchdog hang, or
+ *   digest divergence.
  */
 
 #include <cstdlib>
 #include <iostream>
 
 #include "driver/report.hh"
+#include "driver/repro.hh"
 #include "driver/sweep_runner.hh"
 #include "sim/parse.hh"
 
@@ -85,9 +103,53 @@ exitCodeFor(const SimResult &r)
       case SimStatus::Ok: return 0;
       case SimStatus::Fatal: return EXIT_FATAL;
       case SimStatus::Panic:
-      case SimStatus::Hang: return EXIT_PANIC_OR_HANG;
+      case SimStatus::Hang:
+      case SimStatus::Diverged: return EXIT_PANIC_OR_HANG;
     }
     return EXIT_FATAL;
+}
+
+/**
+ * --replay: reconstruct the exact point a repro bundle describes,
+ * re-run it (honoring any injected-failure kind), re-apply the
+ * differential check against the bundled baseline digest, and report
+ * whether the recorded failure reproduced.
+ */
+int
+replayBundle(const std::string &path)
+{
+    ReproBundle b = readReproBundle(path);
+    inform("replaying " + b.point.id() + " (recorded status: " +
+           simStatusName(b.status) + ")");
+
+    SimResult r = SweepRunner::runPoint(b.point,
+                                        WorkloadCache::process());
+    if (b.baseline_digest && r.ok()) {
+        if (!r.digest)
+            fatal("replayed run produced no digest but the bundle "
+                  "carries a baseline digest");
+        if (auto div = compareDigests(*b.baseline_digest, *r.digest)) {
+            r.status = SimStatus::Diverged;
+            r.status_message =
+                "committed-state digest diverged from the OoO "
+                "baseline at " + div->toString();
+        }
+    }
+
+    if (r.ok())
+        printReport(std::cout, r, b.point.cfg);
+    else
+        std::cerr << r.status_message << "\n";
+
+    if (r.status == b.status)
+        inform("replay reproduced the recorded status (" +
+               std::string(simStatusName(r.status)) + ")");
+    else
+        warn("replay ended with status " +
+             std::string(simStatusName(r.status)) +
+             " but the bundle recorded " +
+             std::string(simStatusName(b.status)));
+    return exitCodeFor(r);
 }
 
 [[noreturn]] void
@@ -99,7 +161,10 @@ usage()
         "             [--warmup N] [--rob N] [--mshrs N] [--lanes N]\n"
         "             [--nodes N] [--degree N] [--elems N]\n"
         "             [--watchdog-cycles N] [--keep-going]\n"
-        "             [--inject-fail NAME] [--paper-caches]\n"
+        "             [--inject-fail NAME[:KIND]] [--check-digests]\n"
+        "             [--digest-interval N] [--repro-dir DIR]\n"
+        "             [--replay BUNDLE] [--checkpoint FILE]\n"
+        "             [--resume] [--paper-caches]\n"
         "             [--format table|csv|json] [--csv] [--list]\n";
     std::exit(EXIT_USAGE);
 }
@@ -112,9 +177,11 @@ main(int argc, char **argv)
     std::string spec = "camel";
     std::string tech = "dvr";
     std::string inject_fail;
+    std::string replay_path;
     bool all_techniques = false;
     bool keep_going = false;
     bool paper_caches = false;
+    bool check_digests = false;
     Format format = Format::Table;
     uint64_t jobs = 0;  // 0 = VRSIM_JOBS / default 1
     uint64_t roi = 150'000;
@@ -122,6 +189,7 @@ main(int argc, char **argv)
     GraphScale gscale;
     HpcDbScale hscale;
     SystemConfig cfg = SystemConfig::benchScale();
+    SweepOptions opts;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -137,6 +205,13 @@ main(int argc, char **argv)
             else if (a == "--all-techniques") all_techniques = true;
             else if (a == "--keep-going") keep_going = true;
             else if (a == "--inject-fail") inject_fail = need(i);
+            else if (a == "--check-digests") check_digests = true;
+            else if (a == "--digest-interval")
+                cfg.digest_interval = parseU64(a, need(i));
+            else if (a == "--repro-dir") opts.repro_dir = need(i);
+            else if (a == "--replay") replay_path = need(i);
+            else if (a == "--checkpoint") opts.checkpoint = need(i);
+            else if (a == "--resume") opts.resume = true;
             else if (a == "--jobs") jobs = parseU64(a, need(i));
             else if (a == "--roi") roi = parseU64(a, need(i));
             else if (a == "--warmup") warmup = parseU64(a, need(i));
@@ -174,6 +249,9 @@ main(int argc, char **argv)
             }
         }
 
+        if (!replay_path.empty())
+            return replayBundle(replay_path);
+
         if (paper_caches) {
             SystemConfig p = SystemConfig::paper();
             cfg.l2 = p.l2;
@@ -189,14 +267,30 @@ main(int argc, char **argv)
                       Technique::DvrDiscovery, Technique::Dvr,
                       Technique::Oracle});
         } else {
-            plan.add({spec}, {parseTechnique(tech)});
+            Technique t = parseTechnique(tech);
+            std::vector<TechColumn> columns;
+            // Differential checking needs the OoO baseline column;
+            // add it implicitly for single-technique runs.
+            if (check_digests && t != Technique::OoO)
+                columns.push_back(Technique::OoO);
+            columns.push_back(t);
+            plan.add({spec}, std::move(columns));
         }
-        if (!inject_fail.empty())
-            plan.injectFail(parseTechnique(inject_fail));
+        if (!inject_fail.empty()) {
+            // NAME[:KIND], e.g. "vr:diverge"; KIND defaults to panic.
+            InjectKind kind = InjectKind::Panic;
+            std::string name = inject_fail;
+            if (size_t colon = inject_fail.find(':');
+                colon != std::string::npos) {
+                name = inject_fail.substr(0, colon);
+                kind = injectKindFromName(inject_fail.substr(colon + 1));
+            }
+            plan.injectFail(parseTechnique(name), kind);
+        }
 
-        SweepOptions opts;
         opts.jobs = unsigned(jobs);
         opts.progress = all_techniques && format == Format::Table;
+        opts.check_digests = check_digests;
         ResultTable table = SweepRunner(opts).run(plan);
 
         // Without --keep-going, the first failure ends the program
@@ -211,12 +305,12 @@ main(int argc, char **argv)
         }
 
         if (format == Format::Csv) {
-            if (all_techniques)
+            if (table.size() > 1)
                 table.writeCsv(std::cout);
             else
                 CsvWriter(std::cout).row(table.results().front());
         } else if (format == Format::Json) {
-            if (all_techniques)
+            if (table.size() > 1)
                 printJson(std::cout, table.results());
             else
                 printJson(std::cout, table.results().front());
@@ -243,7 +337,7 @@ main(int argc, char **argv)
                 }
             }
         } else {
-            printReport(std::cout, table.results().front(), cfg);
+            printReport(std::cout, table.results().back(), cfg);
         }
 
         if (size_t failures = table.failures()) {
