@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delayed_termination.dir/ablation_delayed_termination.cc.o"
+  "CMakeFiles/ablation_delayed_termination.dir/ablation_delayed_termination.cc.o.d"
+  "ablation_delayed_termination"
+  "ablation_delayed_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delayed_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mshrs.dir/ablation_mshrs.cc.o"
+  "CMakeFiles/ablation_mshrs.dir/ablation_mshrs.cc.o.d"
+  "ablation_mshrs"
+  "ablation_mshrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mshrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

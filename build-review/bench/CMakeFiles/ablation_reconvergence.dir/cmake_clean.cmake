@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconvergence.dir/ablation_reconvergence.cc.o"
+  "CMakeFiles/ablation_reconvergence.dir/ablation_reconvergence.cc.o.d"
+  "ablation_reconvergence"
+  "ablation_reconvergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconvergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

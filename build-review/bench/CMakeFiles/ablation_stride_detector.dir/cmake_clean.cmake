@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stride_detector.dir/ablation_stride_detector.cc.o"
+  "CMakeFiles/ablation_stride_detector.dir/ablation_stride_detector.cc.o.d"
+  "ablation_stride_detector"
+  "ablation_stride_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stride_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

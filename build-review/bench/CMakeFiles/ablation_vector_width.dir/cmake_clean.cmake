@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vector_width.dir/ablation_vector_width.cc.o"
+  "CMakeFiles/ablation_vector_width.dir/ablation_vector_width.cc.o.d"
+  "ablation_vector_width"
+  "ablation_vector_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vector_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

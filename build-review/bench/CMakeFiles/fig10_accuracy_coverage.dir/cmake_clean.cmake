@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_coverage.dir/fig10_accuracy_coverage.cc.o"
+  "CMakeFiles/fig10_accuracy_coverage.dir/fig10_accuracy_coverage.cc.o.d"
+  "fig10_accuracy_coverage"
+  "fig10_accuracy_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_timeliness.cc" "bench/CMakeFiles/fig11_timeliness.dir/fig11_timeliness.cc.o" "gcc" "bench/CMakeFiles/fig11_timeliness.dir/fig11_timeliness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/driver/CMakeFiles/vrsim_driver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runahead/CMakeFiles/vrsim_runahead.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/vrsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/vrsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontend/CMakeFiles/vrsim_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/vrsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vrsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/vrsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_timeliness.dir/fig11_timeliness.cc.o"
+  "CMakeFiles/fig11_timeliness.dir/fig11_timeliness.cc.o.d"
+  "fig11_timeliness"
+  "fig11_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

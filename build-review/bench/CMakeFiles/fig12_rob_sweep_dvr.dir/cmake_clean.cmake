@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rob_sweep_dvr.dir/fig12_rob_sweep_dvr.cc.o"
+  "CMakeFiles/fig12_rob_sweep_dvr.dir/fig12_rob_sweep_dvr.cc.o.d"
+  "fig12_rob_sweep_dvr"
+  "fig12_rob_sweep_dvr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rob_sweep_dvr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

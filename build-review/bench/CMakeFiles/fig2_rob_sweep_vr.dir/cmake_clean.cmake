@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rob_sweep_vr.dir/fig2_rob_sweep_vr.cc.o"
+  "CMakeFiles/fig2_rob_sweep_vr.dir/fig2_rob_sweep_vr.cc.o.d"
+  "fig2_rob_sweep_vr"
+  "fig2_rob_sweep_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rob_sweep_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

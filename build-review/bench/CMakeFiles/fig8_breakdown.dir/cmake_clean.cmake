@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_breakdown.dir/fig8_breakdown.cc.o"
+  "CMakeFiles/fig8_breakdown.dir/fig8_breakdown.cc.o.d"
+  "fig8_breakdown"
+  "fig8_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mlp.dir/fig9_mlp.cc.o"
+  "CMakeFiles/fig9_mlp.dir/fig9_mlp.cc.o.d"
+  "fig9_mlp"
+  "fig9_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

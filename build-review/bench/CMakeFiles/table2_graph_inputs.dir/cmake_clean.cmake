@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_graph_inputs.dir/table2_graph_inputs.cc.o"
+  "CMakeFiles/table2_graph_inputs.dir/table2_graph_inputs.cc.o.d"
+  "table2_graph_inputs"
+  "table2_graph_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_graph_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table2_graph_inputs "/root/repo/build-review/bench/table2_graph_inputs")
+set_tests_properties(bench_smoke_table2_graph_inputs PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2_rob_sweep_vr "/root/repo/build-review/bench/fig2_rob_sweep_vr")
+set_tests_properties(bench_smoke_fig2_rob_sweep_vr PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7_performance "/root/repo/build-review/bench/fig7_performance")
+set_tests_properties(bench_smoke_fig7_performance PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8_breakdown "/root/repo/build-review/bench/fig8_breakdown")
+set_tests_properties(bench_smoke_fig8_breakdown PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig9_mlp "/root/repo/build-review/bench/fig9_mlp")
+set_tests_properties(bench_smoke_fig9_mlp PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10_accuracy_coverage "/root/repo/build-review/bench/fig10_accuracy_coverage")
+set_tests_properties(bench_smoke_fig10_accuracy_coverage PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_timeliness "/root/repo/build-review/bench/fig11_timeliness")
+set_tests_properties(bench_smoke_fig11_timeliness PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12_rob_sweep_dvr "/root/repo/build-review/bench/fig12_rob_sweep_dvr")
+set_tests_properties(bench_smoke_fig12_rob_sweep_dvr PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_delayed_termination "/root/repo/build-review/bench/ablation_delayed_termination")
+set_tests_properties(bench_smoke_ablation_delayed_termination PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_vector_width "/root/repo/build-review/bench/ablation_vector_width")
+set_tests_properties(bench_smoke_ablation_vector_width PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_mshrs "/root/repo/build-review/bench/ablation_mshrs")
+set_tests_properties(bench_smoke_ablation_mshrs PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_sw_prefetch "/root/repo/build-review/bench/ablation_sw_prefetch")
+set_tests_properties(bench_smoke_ablation_sw_prefetch PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_reconvergence "/root/repo/build-review/bench/ablation_reconvergence")
+set_tests_properties(bench_smoke_ablation_reconvergence PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_stride_detector "/root/repo/build-review/bench/ablation_stride_detector")
+set_tests_properties(bench_smoke_ablation_stride_detector PROPERTIES  ENVIRONMENT "VRSIM_NODES=2048;VRSIM_DEGREE=8;VRSIM_ELEMS=4096;VRSIM_ROI=6000;VRSIM_WARMUP=1000" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_join_db.dir/hash_join_db.cpp.o"
+  "CMakeFiles/hash_join_db.dir/hash_join_db.cpp.o.d"
+  "hash_join_db"
+  "hash_join_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_join_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

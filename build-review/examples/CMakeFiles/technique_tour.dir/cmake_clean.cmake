@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technique_tour.dir/technique_tour.cpp.o"
+  "CMakeFiles/technique_tour.dir/technique_tour.cpp.o.d"
+  "technique_tour"
+  "technique_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technique_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_core.dir/ooo_core.cc.o"
+  "CMakeFiles/vrsim_core.dir/ooo_core.cc.o.d"
+  "libvrsim_core.a"
+  "libvrsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

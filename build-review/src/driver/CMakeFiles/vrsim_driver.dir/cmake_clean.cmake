@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_driver.dir/plan.cc.o"
+  "CMakeFiles/vrsim_driver.dir/plan.cc.o.d"
+  "CMakeFiles/vrsim_driver.dir/report.cc.o"
+  "CMakeFiles/vrsim_driver.dir/report.cc.o.d"
+  "CMakeFiles/vrsim_driver.dir/repro.cc.o"
+  "CMakeFiles/vrsim_driver.dir/repro.cc.o.d"
+  "CMakeFiles/vrsim_driver.dir/simulation.cc.o"
+  "CMakeFiles/vrsim_driver.dir/simulation.cc.o.d"
+  "CMakeFiles/vrsim_driver.dir/sweep_runner.cc.o"
+  "CMakeFiles/vrsim_driver.dir/sweep_runner.cc.o.d"
+  "libvrsim_driver.a"
+  "libvrsim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

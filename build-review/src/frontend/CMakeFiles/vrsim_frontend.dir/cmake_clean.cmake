@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_frontend.dir/branch_predictor.cc.o"
+  "CMakeFiles/vrsim_frontend.dir/branch_predictor.cc.o.d"
+  "libvrsim_frontend.a"
+  "libvrsim_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

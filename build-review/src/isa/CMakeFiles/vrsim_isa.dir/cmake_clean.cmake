@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_isa.dir/inst.cc.o"
+  "CMakeFiles/vrsim_isa.dir/inst.cc.o.d"
+  "CMakeFiles/vrsim_isa.dir/interp.cc.o"
+  "CMakeFiles/vrsim_isa.dir/interp.cc.o.d"
+  "CMakeFiles/vrsim_isa.dir/opcodes.cc.o"
+  "CMakeFiles/vrsim_isa.dir/opcodes.cc.o.d"
+  "libvrsim_isa.a"
+  "libvrsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

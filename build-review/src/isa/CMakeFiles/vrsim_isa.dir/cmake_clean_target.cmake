@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrsim_isa.a"
+)

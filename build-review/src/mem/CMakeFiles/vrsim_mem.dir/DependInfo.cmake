@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/vrsim_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/vrsim_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/vrsim_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/vrsim_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/imp.cc" "src/mem/CMakeFiles/vrsim_mem.dir/imp.cc.o" "gcc" "src/mem/CMakeFiles/vrsim_mem.dir/imp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/vrsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vrsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

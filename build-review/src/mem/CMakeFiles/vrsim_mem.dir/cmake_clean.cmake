@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_mem.dir/cache.cc.o"
+  "CMakeFiles/vrsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/vrsim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/vrsim_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/vrsim_mem.dir/imp.cc.o"
+  "CMakeFiles/vrsim_mem.dir/imp.cc.o.d"
+  "libvrsim_mem.a"
+  "libvrsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runahead/dvr.cc" "src/runahead/CMakeFiles/vrsim_runahead.dir/dvr.cc.o" "gcc" "src/runahead/CMakeFiles/vrsim_runahead.dir/dvr.cc.o.d"
+  "/root/repo/src/runahead/hardware_budget.cc" "src/runahead/CMakeFiles/vrsim_runahead.dir/hardware_budget.cc.o" "gcc" "src/runahead/CMakeFiles/vrsim_runahead.dir/hardware_budget.cc.o.d"
+  "/root/repo/src/runahead/lane_executor.cc" "src/runahead/CMakeFiles/vrsim_runahead.dir/lane_executor.cc.o" "gcc" "src/runahead/CMakeFiles/vrsim_runahead.dir/lane_executor.cc.o.d"
+  "/root/repo/src/runahead/pre.cc" "src/runahead/CMakeFiles/vrsim_runahead.dir/pre.cc.o" "gcc" "src/runahead/CMakeFiles/vrsim_runahead.dir/pre.cc.o.d"
+  "/root/repo/src/runahead/vector_runahead.cc" "src/runahead/CMakeFiles/vrsim_runahead.dir/vector_runahead.cc.o" "gcc" "src/runahead/CMakeFiles/vrsim_runahead.dir/vector_runahead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/vrsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vrsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/vrsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/vrsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontend/CMakeFiles/vrsim_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

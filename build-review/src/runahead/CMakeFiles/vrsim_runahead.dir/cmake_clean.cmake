@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_runahead.dir/dvr.cc.o"
+  "CMakeFiles/vrsim_runahead.dir/dvr.cc.o.d"
+  "CMakeFiles/vrsim_runahead.dir/hardware_budget.cc.o"
+  "CMakeFiles/vrsim_runahead.dir/hardware_budget.cc.o.d"
+  "CMakeFiles/vrsim_runahead.dir/lane_executor.cc.o"
+  "CMakeFiles/vrsim_runahead.dir/lane_executor.cc.o.d"
+  "CMakeFiles/vrsim_runahead.dir/pre.cc.o"
+  "CMakeFiles/vrsim_runahead.dir/pre.cc.o.d"
+  "CMakeFiles/vrsim_runahead.dir/vector_runahead.cc.o"
+  "CMakeFiles/vrsim_runahead.dir/vector_runahead.cc.o.d"
+  "libvrsim_runahead.a"
+  "libvrsim_runahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_sim.dir/config.cc.o"
+  "CMakeFiles/vrsim_sim.dir/config.cc.o.d"
+  "CMakeFiles/vrsim_sim.dir/digest.cc.o"
+  "CMakeFiles/vrsim_sim.dir/digest.cc.o.d"
+  "CMakeFiles/vrsim_sim.dir/parse.cc.o"
+  "CMakeFiles/vrsim_sim.dir/parse.cc.o.d"
+  "libvrsim_sim.a"
+  "libvrsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

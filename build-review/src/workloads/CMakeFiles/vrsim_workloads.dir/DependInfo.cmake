@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gap.cc" "src/workloads/CMakeFiles/vrsim_workloads.dir/gap.cc.o" "gcc" "src/workloads/CMakeFiles/vrsim_workloads.dir/gap.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/vrsim_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/vrsim_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/graph_io.cc" "src/workloads/CMakeFiles/vrsim_workloads.dir/graph_io.cc.o" "gcc" "src/workloads/CMakeFiles/vrsim_workloads.dir/graph_io.cc.o.d"
+  "/root/repo/src/workloads/hpcdb.cc" "src/workloads/CMakeFiles/vrsim_workloads.dir/hpcdb.cc.o" "gcc" "src/workloads/CMakeFiles/vrsim_workloads.dir/hpcdb.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/vrsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/vrsim_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/workload_cache.cc" "src/workloads/CMakeFiles/vrsim_workloads.dir/workload_cache.cc.o" "gcc" "src/workloads/CMakeFiles/vrsim_workloads.dir/workload_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/vrsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vrsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

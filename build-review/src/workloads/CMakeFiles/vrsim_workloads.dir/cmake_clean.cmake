@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_workloads.dir/gap.cc.o"
+  "CMakeFiles/vrsim_workloads.dir/gap.cc.o.d"
+  "CMakeFiles/vrsim_workloads.dir/graph.cc.o"
+  "CMakeFiles/vrsim_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/vrsim_workloads.dir/graph_io.cc.o"
+  "CMakeFiles/vrsim_workloads.dir/graph_io.cc.o.d"
+  "CMakeFiles/vrsim_workloads.dir/hpcdb.cc.o"
+  "CMakeFiles/vrsim_workloads.dir/hpcdb.cc.o.d"
+  "CMakeFiles/vrsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/vrsim_workloads.dir/workload.cc.o.d"
+  "CMakeFiles/vrsim_workloads.dir/workload_cache.cc.o"
+  "CMakeFiles/vrsim_workloads.dir/workload_cache.cc.o.d"
+  "libvrsim_workloads.a"
+  "libvrsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

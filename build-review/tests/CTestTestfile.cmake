@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("isa")
+subdirs("mem")
+subdirs("frontend")
+subdirs("core")
+subdirs("runahead")
+subdirs("workloads")
+subdirs("driver")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ooo_core_test.dir/ooo_core_test.cc.o"
+  "CMakeFiles/core_ooo_core_test.dir/ooo_core_test.cc.o.d"
+  "core_ooo_core_test"
+  "core_ooo_core_test.pdb"
+  "core_ooo_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ooo_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

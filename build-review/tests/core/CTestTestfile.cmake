@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build-review/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/core/core_ooo_core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core/core_param_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_report_test.dir/report_test.cc.o"
+  "CMakeFiles/driver_report_test.dir/report_test.cc.o.d"
+  "driver_report_test"
+  "driver_report_test.pdb"
+  "driver_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_repro_test.dir/repro_test.cc.o"
+  "CMakeFiles/driver_repro_test.dir/repro_test.cc.o.d"
+  "driver_repro_test"
+  "driver_repro_test.pdb"
+  "driver_repro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_repro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

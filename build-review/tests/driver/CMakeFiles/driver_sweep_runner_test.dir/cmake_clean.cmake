@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_sweep_runner_test.dir/sweep_runner_test.cc.o"
+  "CMakeFiles/driver_sweep_runner_test.dir/sweep_runner_test.cc.o.d"
+  "driver_sweep_runner_test"
+  "driver_sweep_runner_test.pdb"
+  "driver_sweep_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_sweep_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

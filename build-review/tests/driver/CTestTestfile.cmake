@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/driver
+# Build directory: /root/repo/build-review/tests/driver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/driver/driver_report_test[1]_include.cmake")
+include("/root/repo/build-review/tests/driver/driver_sweep_runner_test[1]_include.cmake")
+include("/root/repo/build-review/tests/driver/driver_repro_test[1]_include.cmake")

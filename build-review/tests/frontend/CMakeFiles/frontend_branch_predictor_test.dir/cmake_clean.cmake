@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_branch_predictor_test.dir/branch_predictor_test.cc.o"
+  "CMakeFiles/frontend_branch_predictor_test.dir/branch_predictor_test.cc.o.d"
+  "frontend_branch_predictor_test"
+  "frontend_branch_predictor_test.pdb"
+  "frontend_branch_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_branch_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_btb_test.dir/btb_test.cc.o"
+  "CMakeFiles/frontend_btb_test.dir/btb_test.cc.o.d"
+  "frontend_btb_test"
+  "frontend_btb_test.pdb"
+  "frontend_btb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_btb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/frontend
+# Build directory: /root/repo/build-review/tests/frontend
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/frontend/frontend_branch_predictor_test[1]_include.cmake")
+include("/root/repo/build-review/tests/frontend/frontend_btb_test[1]_include.cmake")

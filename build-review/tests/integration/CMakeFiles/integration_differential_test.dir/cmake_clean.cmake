@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_differential_test.dir/differential_test.cc.o"
+  "CMakeFiles/integration_differential_test.dir/differential_test.cc.o.d"
+  "integration_differential_test"
+  "integration_differential_test.pdb"
+  "integration_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fuzz_test.dir/fuzz_test.cc.o"
+  "CMakeFiles/integration_fuzz_test.dir/fuzz_test.cc.o.d"
+  "integration_fuzz_test"
+  "integration_fuzz_test.pdb"
+  "integration_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

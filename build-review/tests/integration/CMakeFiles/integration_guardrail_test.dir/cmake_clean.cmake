@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_guardrail_test.dir/guardrail_test.cc.o"
+  "CMakeFiles/integration_guardrail_test.dir/guardrail_test.cc.o.d"
+  "integration_guardrail_test"
+  "integration_guardrail_test.pdb"
+  "integration_guardrail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_guardrail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

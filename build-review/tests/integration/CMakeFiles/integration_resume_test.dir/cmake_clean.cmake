@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_resume_test.dir/resume_test.cc.o"
+  "CMakeFiles/integration_resume_test.dir/resume_test.cc.o.d"
+  "integration_resume_test"
+  "integration_resume_test.pdb"
+  "integration_resume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_resume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

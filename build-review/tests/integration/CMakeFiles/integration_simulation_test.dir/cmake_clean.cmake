@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_simulation_test.dir/simulation_test.cc.o"
+  "CMakeFiles/integration_simulation_test.dir/simulation_test.cc.o.d"
+  "integration_simulation_test"
+  "integration_simulation_test.pdb"
+  "integration_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

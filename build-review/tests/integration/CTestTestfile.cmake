@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build-review/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/integration/integration_simulation_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration/integration_paper_claims_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration/integration_fuzz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration/integration_guardrail_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration/integration_differential_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration/integration_resume_test[1]_include.cmake")

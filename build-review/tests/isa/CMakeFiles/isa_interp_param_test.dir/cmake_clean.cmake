@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_interp_param_test.dir/interp_param_test.cc.o"
+  "CMakeFiles/isa_interp_param_test.dir/interp_param_test.cc.o.d"
+  "isa_interp_param_test"
+  "isa_interp_param_test.pdb"
+  "isa_interp_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_interp_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

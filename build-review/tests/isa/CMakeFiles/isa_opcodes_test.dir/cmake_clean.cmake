@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_opcodes_test.dir/opcodes_test.cc.o"
+  "CMakeFiles/isa_opcodes_test.dir/opcodes_test.cc.o.d"
+  "isa_opcodes_test"
+  "isa_opcodes_test.pdb"
+  "isa_opcodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_opcodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/isa
+# Build directory: /root/repo/build-review/tests/isa
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/isa/isa_interp_test[1]_include.cmake")
+include("/root/repo/build-review/tests/isa/isa_interp_param_test[1]_include.cmake")
+include("/root/repo/build-review/tests/isa/isa_opcodes_test[1]_include.cmake")

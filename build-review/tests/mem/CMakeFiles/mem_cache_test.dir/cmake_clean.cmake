@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_cache_test.dir/cache_test.cc.o"
+  "CMakeFiles/mem_cache_test.dir/cache_test.cc.o.d"
+  "mem_cache_test"
+  "mem_cache_test.pdb"
+  "mem_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

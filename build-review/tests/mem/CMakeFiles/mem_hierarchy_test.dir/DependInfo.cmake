@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/hierarchy_test.cc" "tests/mem/CMakeFiles/mem_hierarchy_test.dir/hierarchy_test.cc.o" "gcc" "tests/mem/CMakeFiles/mem_hierarchy_test.dir/hierarchy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/driver/CMakeFiles/vrsim_driver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runahead/CMakeFiles/vrsim_runahead.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/vrsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/vrsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontend/CMakeFiles/vrsim_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/vrsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vrsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/vrsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_hierarchy_test.dir/hierarchy_test.cc.o"
+  "CMakeFiles/mem_hierarchy_test.dir/hierarchy_test.cc.o.d"
+  "mem_hierarchy_test"
+  "mem_hierarchy_test.pdb"
+  "mem_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

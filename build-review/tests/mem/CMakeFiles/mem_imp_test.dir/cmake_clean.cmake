@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_imp_test.dir/imp_test.cc.o"
+  "CMakeFiles/mem_imp_test.dir/imp_test.cc.o.d"
+  "mem_imp_test"
+  "mem_imp_test.pdb"
+  "mem_imp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_imp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

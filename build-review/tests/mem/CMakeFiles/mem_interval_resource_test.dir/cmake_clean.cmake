@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_interval_resource_test.dir/interval_resource_test.cc.o"
+  "CMakeFiles/mem_interval_resource_test.dir/interval_resource_test.cc.o.d"
+  "mem_interval_resource_test"
+  "mem_interval_resource_test.pdb"
+  "mem_interval_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_interval_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_memory_image_test.dir/memory_image_test.cc.o"
+  "CMakeFiles/mem_memory_image_test.dir/memory_image_test.cc.o.d"
+  "mem_memory_image_test"
+  "mem_memory_image_test.pdb"
+  "mem_memory_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_memory_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_stride_rpt_test.dir/stride_rpt_test.cc.o"
+  "CMakeFiles/mem_stride_rpt_test.dir/stride_rpt_test.cc.o.d"
+  "mem_stride_rpt_test"
+  "mem_stride_rpt_test.pdb"
+  "mem_stride_rpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_stride_rpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

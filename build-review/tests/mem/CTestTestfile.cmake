@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mem
+# Build directory: /root/repo/build-review/tests/mem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/mem/mem_cache_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_interval_resource_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_dram_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_stride_rpt_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_hierarchy_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_imp_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_memory_image_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mem/mem_cache_param_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_dvr_param_test.dir/dvr_param_test.cc.o"
+  "CMakeFiles/runahead_dvr_param_test.dir/dvr_param_test.cc.o.d"
+  "runahead_dvr_param_test"
+  "runahead_dvr_param_test.pdb"
+  "runahead_dvr_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_dvr_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_engines_test.dir/engines_test.cc.o"
+  "CMakeFiles/runahead_engines_test.dir/engines_test.cc.o.d"
+  "runahead_engines_test"
+  "runahead_engines_test.pdb"
+  "runahead_engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_hardware_budget_test.dir/hardware_budget_test.cc.o"
+  "CMakeFiles/runahead_hardware_budget_test.dir/hardware_budget_test.cc.o.d"
+  "runahead_hardware_budget_test"
+  "runahead_hardware_budget_test.pdb"
+  "runahead_hardware_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_hardware_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

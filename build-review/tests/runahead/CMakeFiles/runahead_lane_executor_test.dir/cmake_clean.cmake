@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_lane_executor_test.dir/lane_executor_test.cc.o"
+  "CMakeFiles/runahead_lane_executor_test.dir/lane_executor_test.cc.o.d"
+  "runahead_lane_executor_test"
+  "runahead_lane_executor_test.pdb"
+  "runahead_lane_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_lane_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

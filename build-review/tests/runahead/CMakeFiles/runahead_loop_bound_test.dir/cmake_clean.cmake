@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_loop_bound_test.dir/loop_bound_test.cc.o"
+  "CMakeFiles/runahead_loop_bound_test.dir/loop_bound_test.cc.o.d"
+  "runahead_loop_bound_test"
+  "runahead_loop_bound_test.pdb"
+  "runahead_loop_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_loop_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_reconv_stack_test.dir/reconv_stack_test.cc.o"
+  "CMakeFiles/runahead_reconv_stack_test.dir/reconv_stack_test.cc.o.d"
+  "runahead_reconv_stack_test"
+  "runahead_reconv_stack_test.pdb"
+  "runahead_reconv_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_reconv_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

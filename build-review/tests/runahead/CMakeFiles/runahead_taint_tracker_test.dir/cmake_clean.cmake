@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_taint_tracker_test.dir/taint_tracker_test.cc.o"
+  "CMakeFiles/runahead_taint_tracker_test.dir/taint_tracker_test.cc.o.d"
+  "runahead_taint_tracker_test"
+  "runahead_taint_tracker_test.pdb"
+  "runahead_taint_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_taint_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

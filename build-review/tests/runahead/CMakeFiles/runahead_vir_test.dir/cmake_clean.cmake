@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_vir_test.dir/vir_test.cc.o"
+  "CMakeFiles/runahead_vir_test.dir/vir_test.cc.o.d"
+  "runahead_vir_test"
+  "runahead_vir_test.pdb"
+  "runahead_vir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_vir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

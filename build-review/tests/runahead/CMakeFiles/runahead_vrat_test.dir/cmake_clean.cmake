@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_vrat_test.dir/vrat_test.cc.o"
+  "CMakeFiles/runahead_vrat_test.dir/vrat_test.cc.o.d"
+  "runahead_vrat_test"
+  "runahead_vrat_test.pdb"
+  "runahead_vrat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_vrat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/runahead
+# Build directory: /root/repo/build-review/tests/runahead
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/runahead/runahead_taint_tracker_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_loop_bound_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_reconv_stack_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_vrat_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_vir_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_lane_executor_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_hardware_budget_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_engines_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_loop_bound_param_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runahead/runahead_dvr_param_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_digest_test.dir/digest_test.cc.o"
+  "CMakeFiles/sim_digest_test.dir/digest_test.cc.o.d"
+  "sim_digest_test"
+  "sim_digest_test.pdb"
+  "sim_digest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_digest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

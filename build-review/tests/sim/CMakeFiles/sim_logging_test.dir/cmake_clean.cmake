@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_logging_test.dir/logging_test.cc.o"
+  "CMakeFiles/sim_logging_test.dir/logging_test.cc.o.d"
+  "sim_logging_test"
+  "sim_logging_test.pdb"
+  "sim_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

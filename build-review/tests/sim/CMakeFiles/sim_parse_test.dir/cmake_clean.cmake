@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_parse_test.dir/parse_test.cc.o"
+  "CMakeFiles/sim_parse_test.dir/parse_test.cc.o.d"
+  "sim_parse_test"
+  "sim_parse_test.pdb"
+  "sim_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

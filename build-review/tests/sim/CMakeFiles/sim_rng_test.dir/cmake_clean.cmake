@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_rng_test.dir/rng_test.cc.o"
+  "CMakeFiles/sim_rng_test.dir/rng_test.cc.o.d"
+  "sim_rng_test"
+  "sim_rng_test.pdb"
+  "sim_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build-review/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/sim/sim_stats_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim/sim_rng_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim/sim_config_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim/sim_parse_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim/sim_digest_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim/sim_logging_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_cache_test.dir/workload_cache_test.cc.o"
+  "CMakeFiles/workloads_cache_test.dir/workload_cache_test.cc.o.d"
+  "workloads_cache_test"
+  "workloads_cache_test.pdb"
+  "workloads_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_graph_test.dir/graph_test.cc.o"
+  "CMakeFiles/workloads_graph_test.dir/graph_test.cc.o.d"
+  "workloads_graph_test"
+  "workloads_graph_test.pdb"
+  "workloads_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

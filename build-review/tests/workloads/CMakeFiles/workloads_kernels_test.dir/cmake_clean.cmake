@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_kernels_test.dir/kernels_test.cc.o"
+  "CMakeFiles/workloads_kernels_test.dir/kernels_test.cc.o.d"
+  "workloads_kernels_test"
+  "workloads_kernels_test.pdb"
+  "workloads_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

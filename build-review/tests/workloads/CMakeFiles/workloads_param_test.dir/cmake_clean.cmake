@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_param_test.dir/workload_param_test.cc.o"
+  "CMakeFiles/workloads_param_test.dir/workload_param_test.cc.o.d"
+  "workloads_param_test"
+  "workloads_param_test.pdb"
+  "workloads_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build-review/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/workloads/workloads_graph_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads/workloads_kernels_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads/workloads_param_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads/workloads_graph_io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads/workloads_cache_test[1]_include.cmake")

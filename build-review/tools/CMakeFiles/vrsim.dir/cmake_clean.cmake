@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim.dir/vrsim_cli.cc.o"
+  "CMakeFiles/vrsim.dir/vrsim_cli.cc.o.d"
+  "vrsim"
+  "vrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrsim_trace.dir/vrsim_trace.cc.o"
+  "CMakeFiles/vrsim_trace.dir/vrsim_trace.cc.o.d"
+  "vrsim_trace"
+  "vrsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
