@@ -7,8 +7,11 @@
 # differential-check stage under standalone UBSan: a small real grid
 # with --check-digests (every technique's committed stream must hash
 # identically to the OoO baseline's) plus a repro-bundle replay
-# round-trip smoke. Bench smoke tests are included; the full figure
-# sweeps live in scripts/run_all.sh.
+# round-trip smoke. A docs stage checks README/--help flag parity,
+# renders a trace through tools/trace2chrome.py under the ASan build,
+# and builds the Doxygen API reference when doxygen is installed.
+# Bench smoke tests are included; the full figure sweeps live in
+# scripts/run_all.sh.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -71,5 +74,44 @@ if [ "$rc" -ne 70 ]; then
     exit 1
 fi
 echo "replay smoke: bundle reproduced the divergence (exit 70)"
+
+echo "=== docs & observability stage ==="
+# README/--help parity: every --flag the CLI's help lists must be
+# documented in the README, and vice versa (drift guard).
+help_flags="$(build-ci/tools/vrsim --help |
+    grep -oE -- '--[a-z-]+' | sort -u)"
+readme_flags="$(grep -oE -- '--[a-z-]+' README.md | sort -u)"
+missing_in_readme="$(comm -23 <(echo "$help_flags") \
+    <(echo "$readme_flags") || true)"
+if [ -n "$missing_in_readme" ]; then
+    echo "docs check: flags in vrsim --help but not README.md:" >&2
+    echo "$missing_in_readme" >&2
+    exit 1
+fi
+echo "docs check: README covers every vrsim --help flag"
+
+# Trace schema end-to-end under ASan: emit a real trace, convert it,
+# and require valid Chrome-tracing JSON out the other side.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$REPRO_DIR" "$TRACE_DIR"' EXIT
+build-ci-asan/tools/vrsim --workload camel --technique vr \
+    --roi 6000 --warmup 500 --nodes 2048 --degree 8 \
+    --trace "all:$TRACE_DIR/t.ndjson" --format csv >/dev/null 2>&1
+python3 tools/trace2chrome.py "$TRACE_DIR/t.ndjson" \
+    -o "$TRACE_DIR/t.chrome.json" >/dev/null
+python3 - "$TRACE_DIR/t.chrome.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["traceEvents"], "empty Chrome trace"
+EOF
+echo "trace check: NDJSON -> Chrome tracing round-trip ok (ASan)"
+
+# API reference, when the container has doxygen (not required).
+if command -v doxygen >/dev/null 2>&1; then
+    (cd docs && doxygen Doxyfile >/dev/null)
+    echo "docs check: doxygen API reference built (docs/api)"
+else
+    echo "docs check: doxygen not installed; skipping API reference"
+fi
 
 echo "ci: all configurations passed"

@@ -13,6 +13,8 @@
 namespace vrsim
 {
 
+class TraceSink;
+
 /** Why the core entered a runahead window. */
 enum class TriggerKind : uint8_t
 {
@@ -21,6 +23,17 @@ enum class TriggerKind : uint8_t
                   //!< with wrong-path µops (full-ROB stall too, but
                   //!< the fetched instructions are wrong-path)
 };
+
+/** Stable lower-case trigger name (trace events). */
+constexpr const char *
+triggerKindName(TriggerKind k)
+{
+    switch (k) {
+      case TriggerKind::WindowFull: return "window";
+      case TriggerKind::BranchStall: return "branch";
+    }
+    return "unknown";
+}
 
 /**
  * Hook interface implemented by the runahead engines. The core invokes
@@ -70,6 +83,17 @@ class RunaheadEngine
 
     /** Engine name for reports. */
     virtual const char *name() const = 0;
+
+    /**
+     * Attach a cycle-trace sink (obs/trace.hh). Engines emit
+     * TraceCat::Runahead enter/exit events around each runahead
+     * interval; vectorized engines forward the sink to their lane
+     * executor for TraceCat::Lanes events. nullptr detaches.
+     */
+    virtual void setTraceSink(TraceSink *sink) { trace_sink_ = sink; }
+
+  protected:
+    TraceSink *trace_sink_ = nullptr;
 };
 
 } // namespace vrsim

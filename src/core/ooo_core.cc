@@ -4,6 +4,9 @@
 #include <queue>
 #include <vector>
 
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+
 namespace vrsim
 {
 
@@ -18,6 +21,66 @@ pcKey(uint32_t pc)
 }
 
 } // namespace
+
+void
+CoreStats::registerIn(StatsRegistry &reg) const
+{
+    reg.addCounter("core.instructions",
+                   "retired instructions in the ROI") += instructions;
+    reg.addCounter("core.cycles", "core cycles in the ROI") += cycles;
+    reg.addFormula(
+        "core.ipc",
+        [](const StatsRegistry &r) {
+            double cyc = r.value("core.cycles");
+            return cyc ? r.value("core.instructions") / cyc : 0.0;
+        },
+        "retired instructions per cycle");
+    reg.addCounter("core.loads", "retired loads") += loads;
+    reg.addCounter("core.stores", "retired stores") += stores;
+    reg.addCounter("core.branches", "retired conditional branches") +=
+        branches;
+    reg.addCounter("core.mispredicts", "mispredicted branches") +=
+        mispredicts;
+    reg.addCounter("core.stall_fetch",
+                   "dispatch-stall cycles from mispredict redirects")
+        += stall_fetch;
+    reg.addCounter("core.stall_iq",
+                   "dispatch-stall cycles from issue-queue occupancy")
+        += stall_iq;
+    reg.addCounter("core.stall_lq",
+                   "dispatch-stall cycles from load-queue occupancy")
+        += stall_lq;
+    reg.addCounter("core.stall_sq",
+                   "dispatch-stall cycles from store-queue occupancy")
+        += stall_sq;
+    reg.addCounter("core.stall_rob",
+                   "dispatch-stall cycles from ROB occupancy") +=
+        rob_stall_cycles;
+    reg.addCounter("core.runahead_triggers",
+                   "full-window stall episodes handed to the engine")
+        += full_rob_stall_events;
+    reg.addCounter("core.runahead_commit_stall",
+                   "commit-stall cycles from VR delayed termination")
+        += runahead_commit_stall;
+
+    const CpiStack cs = cpiStack();
+    reg.addGauge("cpi.base", "CPI not attributed to any stall source") =
+        cs.base;
+    reg.addGauge("cpi.frontend", "CPI from mispredict redirects") =
+        cs.frontend;
+    reg.addGauge("cpi.issue_queue", "CPI from issue-queue stalls") =
+        cs.issue_queue;
+    reg.addGauge("cpi.load_queue", "CPI from load-queue stalls") =
+        cs.load_queue;
+    reg.addGauge("cpi.store_queue", "CPI from store-queue stalls") =
+        cs.store_queue;
+    reg.addGauge("cpi.rob", "CPI from full-ROB stalls") = cs.rob;
+    reg.addGauge("cpi.runahead",
+                 "CPI from VR delayed-termination commit stalls") =
+        cs.runahead;
+    reg.addGauge("cpi.total", "total cycles per instruction") =
+        cs.total();
+}
 
 OooCore::OooCore(const SystemConfig &cfg, const Program &prog,
                  MemoryImage &image, MemoryHierarchy &hier,
@@ -401,6 +464,20 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
 
         if (engine_)
             engine_->onInstruction(si, state, dispatch);
+
+        if (tsink_ && tsink_->enabled(TraceCat::Pipeline)) {
+            // ROB occupancy at dispatch: entries whose commit is
+            // still in the future. O(rob_size), paid only with the
+            // pipeline trace category enabled.
+            uint32_t rob_occ = 0;
+            for (Cycle freed : rob_ring)
+                if (freed > dispatch)
+                    ++rob_occ;
+            tsink_->inst(i, si.pc, inst.toString(), dispatch, ready,
+                         issue, complete, commit,
+                         si.is_mem && !si.is_store, mispredicted_now,
+                         rob_occ);
+        }
 
         if (trace_) {
             TraceRecord tr;

@@ -29,6 +29,8 @@
 namespace vrsim
 {
 
+class StatsRegistry;
+
 /** Timing results of one core run. */
 struct CoreStats
 {
@@ -96,6 +98,14 @@ struct CoreStats
         s.base = cpi > attributed ? cpi - attributed : 0.0;
         return s;
     }
+
+    /**
+     * Register the reported core statistics under "core." and "cpi."
+     * paths in @p reg (docs/observability.md lists every path).
+     * core.ipc is a Formula over core.instructions / core.cycles, so
+     * it tracks the registry values rather than a snapshot.
+     */
+    void registerIn(StatsRegistry &reg) const;
 };
 
 /** One traced instruction's pipeline timestamps. */
@@ -163,6 +173,15 @@ class OooCore
      */
     void setDigest(StateDigest *digest) { digest_ = digest; }
 
+    /**
+     * Attach a cycle-trace sink (obs/trace.hh): every committed
+     * instruction emits one TraceCat::Pipeline event with its
+     * dispatch/ready/issue/complete/commit timestamps and the ROB
+     * occupancy at dispatch. nullptr detaches; when detached the only
+     * cost is a null check per instruction.
+     */
+    void setTraceSink(TraceSink *sink) { tsink_ = sink; }
+
   private:
     /**
      * Per-FU-class issue-port calendar with cycle-granular occupancy.
@@ -216,6 +235,7 @@ class OooCore
     CacheArray l1i_;
     std::function<void(const TraceRecord &)> trace_;
     StateDigest *digest_ = nullptr;
+    TraceSink *tsink_ = nullptr;
 
     PortBank int_add_, int_mul_, int_div_;
     PortBank fp_add_, fp_mul_, fp_div_;

@@ -2,91 +2,40 @@
 
 #include <iomanip>
 
+#include "obs/self_profile.hh"
+
 namespace vrsim
 {
 
-StatGroup
-toStatGroup(const SimResult &r)
+StatsRegistry
+buildRegistry(const SimResult &r)
 {
-    StatGroup g(r.workload + "." + techniqueName(r.technique));
-    auto set = [&g](const std::string &k, double v) {
-        g.scalar(k) = v;
-    };
-
-    set("run.ok", r.ok() ? 1.0 : 0.0);
-    set("core.instructions", double(r.core.instructions));
-    set("core.cycles", double(r.core.cycles));
-    set("core.ipc", r.ipc());
-    set("core.loads", double(r.core.loads));
-    set("core.stores", double(r.core.stores));
-    set("core.branches", double(r.core.branches));
-    set("core.mispredicts", double(r.core.mispredicts));
-    set("core.stall_fetch", double(r.core.stall_fetch));
-    set("core.stall_iq", double(r.core.stall_iq));
-    set("core.stall_lq", double(r.core.stall_lq));
-    set("core.stall_sq", double(r.core.stall_sq));
-    set("core.stall_rob", double(r.core.rob_stall_cycles));
-    set("core.runahead_triggers", double(r.core.full_rob_stall_events));
-    set("core.runahead_commit_stall",
-        double(r.core.runahead_commit_stall));
-
-    CoreStats::CpiStack cs = r.core.cpiStack();
-    set("cpi.base", cs.base);
-    set("cpi.frontend", cs.frontend);
-    set("cpi.issue_queue", cs.issue_queue);
-    set("cpi.load_queue", cs.load_queue);
-    set("cpi.store_queue", cs.store_queue);
-    set("cpi.rob", cs.rob);
-    set("cpi.runahead", cs.runahead);
-    set("cpi.total", cs.total());
-
-    set("mem.demand_accesses", double(r.mem.demand_accesses));
-    set("mem.l1_hits", double(r.mem.demand_l1_hits));
-    set("mem.l2_hits", double(r.mem.demand_l2_hits));
-    set("mem.l3_hits", double(r.mem.demand_l3_hits));
-    set("mem.mem_accesses", double(r.mem.demand_mem));
-    set("mem.mean_load_latency",
-        r.mem.demand_accesses
-            ? double(r.mem.demand_latency_sum) /
-                  double(r.mem.demand_accesses)
-            : 0.0);
-    set("mem.dram_total", double(r.mem.dramTotal()));
-    set("mem.dram_main", double(r.dramMain()));
-    set("mem.dram_runahead", double(r.dramRunahead()));
-    set("mem.mlp", r.mlp);
-    set("mem.pf_lines_filled", double(r.mem.pf_lines_filled));
-    set("mem.pf_used_l1", double(r.mem.pf_used_l1));
-    set("mem.pf_used_l2", double(r.mem.pf_used_l2));
-    set("mem.pf_used_l3", double(r.mem.pf_used_l3));
-    set("mem.pf_used_inflight", double(r.mem.pf_used_inflight));
-
-    if (r.pre) {
-        set("pre.intervals", double(r.pre->intervals));
-        set("pre.prefetches", double(r.pre->prefetches));
-        set("pre.skipped_dependent", double(r.pre->skipped_dependent));
+    StatsRegistry reg;
+    reg.addGauge("run.ok", "1 when the run completed") =
+        r.ok() ? 1.0 : 0.0;
+    r.core.registerIn(reg);
+    r.mem.registerIn(reg, r.mlp);
+    if (r.pre)
+        r.pre->registerIn(reg);
+    if (r.vr)
+        r.vr->registerIn(reg);
+    if (r.dvr)
+        r.dvr->registerIn(reg);
+    // Host-side timing is wall-clock and therefore nondeterministic;
+    // it only enters reports when profiling columns are opted into
+    // (--profile / VRSIM_PROFILE), keeping default output
+    // byte-identical across runs and job counts.
+    if (profileColumnsEnabled()) {
+        reg.addGauge("host.seconds",
+                     "host wall time of the core run") =
+            r.host_seconds;
+        reg.addGauge("host.minsts_per_sec",
+                     "simulated Minsts per host second") =
+            r.host_seconds > 0.0
+                ? double(r.core.instructions) / r.host_seconds / 1e6
+                : 0.0;
     }
-    if (r.vr) {
-        set("vr.triggers", double(r.vr->triggers));
-        set("vr.vectorizations", double(r.vr->vectorizations));
-        set("vr.lanes", double(r.vr->lanes_spawned));
-        set("vr.prefetches", double(r.vr->prefetches));
-        set("vr.lanes_invalidated", double(r.vr->lanes_invalidated));
-    }
-    if (r.dvr) {
-        set("dvr.discoveries", double(r.dvr->discoveries));
-        set("dvr.discovery_aborts", double(r.dvr->discovery_aborts));
-        set("dvr.innermost_switches",
-            double(r.dvr->innermost_switches));
-        set("dvr.spawns", double(r.dvr->spawns));
-        set("dvr.nested_spawns", double(r.dvr->nested_spawns));
-        set("dvr.lanes", double(r.dvr->lanes_spawned));
-        set("dvr.mean_lanes", r.dvr->meanLanes());
-        set("dvr.prefetches", double(r.dvr->prefetches));
-        set("dvr.divergences", double(r.dvr->divergences));
-        set("dvr.bound_limited", double(r.dvr->bound_limited));
-        set("dvr.dedupe_skips", double(r.dvr->dedupe_skips));
-    }
-    return g;
+    return reg;
 }
 
 void
@@ -205,16 +154,16 @@ CsvWriter::row(const SimResult &r, const std::string &point_id)
 void
 CsvWriter::emit(const SimResult &r, const std::string *point_id)
 {
-    StatGroup g = toStatGroup(r);
+    StatsRegistry reg = buildRegistry(r);
     if (!wrote_header_) {
         wrote_header_ = true;
         with_point_ = point_id != nullptr;
         if (with_point_)
             os_ << "point,";
         os_ << "workload,technique,status,message";
-        for (const auto &kv : g.all()) {
-            columns_.push_back(kv.first);
-            os_ << "," << kv.first;
+        for (const auto &path : reg.paths()) {
+            columns_.push_back(path);
+            os_ << "," << path;
         }
         os_ << "\n";
     }
@@ -231,7 +180,7 @@ CsvWriter::emit(const SimResult &r, const std::string *point_id)
     os_ << r.workload << "," << techniqueName(r.technique) << ","
         << simStatusName(r.status) << "," << msg;
     for (const auto &col : columns_)
-        os_ << "," << (g.has(col) ? g.value(col) : 0.0);
+        os_ << "," << (reg.has(col) ? reg.value(col) : 0.0);
     os_ << "\n";
 }
 
@@ -277,13 +226,13 @@ jsonObject(std::ostream &os, const SimResult &r, const char *indent)
     os << indent << "  \"message\": \"" << jsonEscape(r.status_message)
        << "\",\n";
     os << indent << "  \"stats\": {";
-    StatGroup g = toStatGroup(r);
+    StatsRegistry reg = buildRegistry(r);
     bool first = true;
-    for (const auto &kv : g.all()) {
-        os << (first ? "\n" : ",\n") << indent << "    \"" << kv.first
-           << "\": " << kv.second.value();
+    reg.visit([&](const StatNode &n) {
+        os << (first ? "\n" : ",\n") << indent << "    \"" << n.path()
+           << "\": " << n.value(reg);
         first = false;
-    }
+    });
     os << "\n" << indent << "  }\n";
     os << indent << "}";
 }
@@ -308,6 +257,30 @@ printJson(std::ostream &os, const std::vector<SimResult> &results)
     for (size_t i = 0; i < results.size(); i++) {
         jsonObject(os, results[i], "  ");
         os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    os.precision(prec);
+}
+
+void
+writeStatsJson(std::ostream &os, const ResultTable &table)
+{
+    auto prec = os.precision(15);
+    os << "[\n";
+    for (size_t i = 0; i < table.size(); i++) {
+        const RunPoint &p = table.points()[i];
+        const SimResult &r = table.results()[i];
+        os << "  {\n";
+        os << "    \"point\": \"" << jsonEscape(p.id()) << "\",\n";
+        os << "    \"workload\": \"" << jsonEscape(r.workload)
+           << "\",\n";
+        os << "    \"technique\": \""
+           << jsonEscape(techniqueName(r.technique)) << "\",\n";
+        os << "    \"status\": \"" << simStatusName(r.status)
+           << "\",\n";
+        os << "    \"stats\": ";
+        buildRegistry(r).dumpJson(os);
+        os << "\n  }" << (i + 1 < table.size() ? "," : "") << "\n";
     }
     os << "]\n";
     os.precision(prec);

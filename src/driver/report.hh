@@ -1,8 +1,12 @@
 /**
  * @file
  * Report writers for simulation results: a human-readable full report,
- * a CSV row/sweep writer for downstream analysis, and a flattener that
- * turns a SimResult into a named-scalar StatGroup.
+ * a CSV row/sweep writer for downstream analysis, and the registry
+ * builder that maps a SimResult onto the observability layer's
+ * hierarchical stat name space (obs/stats_registry.hh). Every output
+ * format — CSV sweep rows, --format json, --stats-json — renders the
+ * same registry, so the key set and naming convention are defined in
+ * exactly one place (documented in docs/observability.md).
  */
 
 #ifndef VRSIM_DRIVER_REPORT_HH
@@ -12,14 +16,22 @@
 #include <string>
 #include <vector>
 
+#include "driver/plan.hh"
 #include "driver/simulation.hh"
-#include "sim/stats.hh"
+#include "obs/stats_registry.hh"
 
 namespace vrsim
 {
 
-/** Flatten a SimResult into named scalars (stable key set per run). */
-StatGroup toStatGroup(const SimResult &result);
+/**
+ * Map a SimResult onto the observability registry: run.ok plus the
+ * core./cpi./mem. groups always, pre./vr./dvr. when the engine ran,
+ * and host. timing columns only when profiling columns are enabled
+ * (obs/self_profile.hh) — host time is nondeterministic and must not
+ * perturb byte-identical default output. Iteration order is
+ * lexicographic by path (the canonical dump order).
+ */
+StatsRegistry buildRegistry(const SimResult &result);
 
 /** Print a multi-section human-readable report for one run. */
 void printReport(std::ostream &os, const SimResult &result,
@@ -27,9 +39,10 @@ void printReport(std::ostream &os, const SimResult &result,
 
 /**
  * CSV writer: header once, then one row per result. Columns are the
- * union of toStatGroup keys, fixed by the first row. Rows written
- * with a point ID (sweep output) gain a leading "point" column so
- * config-variant rows of the same workload/technique stay separable.
+ * registry paths of the first row (buildRegistry), fixed thereafter.
+ * Rows written with a point ID (sweep output) gain a leading "point"
+ * column so config-variant rows of the same workload/technique stay
+ * separable.
  */
 class CsvWriter
 {
@@ -60,6 +73,14 @@ void printJson(std::ostream &os, const SimResult &result);
 
 /** A JSON array of results (one sweep). */
 void printJson(std::ostream &os, const std::vector<SimResult> &results);
+
+/**
+ * Registry dump per plan point (`vrsim --stats-json FILE`): a JSON
+ * array with one object per point — id, workload, technique, status
+ * and the full registry rendered by StatsRegistry::dumpJson, in plan
+ * order. Parseable by sim/parse.hh's strict JsonValue reader.
+ */
+void writeStatsJson(std::ostream &os, const ResultTable &table);
 
 } // namespace vrsim
 

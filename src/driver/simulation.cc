@@ -1,7 +1,11 @@
 #include "driver/simulation.hh"
 
+#include <chrono>
 #include <iomanip>
 #include <memory>
+
+#include "obs/self_profile.hh"
+#include "obs/trace.hh"
 
 namespace vrsim
 {
@@ -44,7 +48,7 @@ runGuarded(const std::string &workload_name, Technique technique,
 SimResult
 runWorkload(Workload &w, Technique technique, SystemConfig cfg,
             uint64_t max_insts, uint64_t warmup_insts,
-            const DvrFeatures *dvr_features)
+            const DvrFeatures *dvr_features, TraceSink *trace)
 {
     cfg.technique = technique;
     MemoryHierarchy hier(cfg, w.image);
@@ -90,6 +94,12 @@ runWorkload(Workload &w, Technique technique, SystemConfig cfg,
     }
 
     OooCore core(cfg, w.prog, w.image, hier, engine.get());
+    if (trace) {
+        hier.setTraceSink(trace);
+        core.setTraceSink(trace);
+        if (engine)
+            engine->setTraceSink(trace);
+    }
     uint64_t budget = max_insts ? max_insts : w.suggested_insts;
 
     // Differential oracle: hash the committed stream (incl. warmup,
@@ -106,10 +116,19 @@ runWorkload(Workload &w, Technique technique, SystemConfig cfg,
     res.technique = technique;
     MemStats warm_mem;
     uint64_t warm_busy = 0;
-    res.core = core.run(w.init, budget, warmup_insts, [&] {
-        warm_mem = hier.stats();
-        warm_busy = hier.l1Mshrs().busyIntegral();
-    });
+    {
+        SelfProfiler::PhaseTimer pt =
+            SelfProfiler::process().phase("simulate");
+        auto t0 = std::chrono::steady_clock::now();
+        res.core = core.run(w.init, budget, warmup_insts, [&] {
+            warm_mem = hier.stats();
+            warm_busy = hier.l1Mshrs().busyIntegral();
+        });
+        res.host_seconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+    }
+    SelfProfiler::process().addSimulated(res.core.instructions,
+                                         res.core.cycles);
     res.mem = hier.stats().since(warm_mem, cfg.invariant_checks);
     uint64_t busy = hier.l1Mshrs().busyIntegral() - warm_busy;
     res.mlp = res.core.cycles ? double(busy) / double(res.core.cycles)

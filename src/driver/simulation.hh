@@ -51,6 +51,9 @@ struct SimResult
     CoreStats core;
     MemStats mem;
     double mlp = 0.0;        //!< mean L1D MSHRs busy per cycle
+    double host_seconds = 0.0; //!< host wall time of the core run
+                               //!< (self-profiling; never part of the
+                               //!< default report output)
 
     /** Did the run complete (statistics below are meaningful)? */
     bool ok() const { return status == SimStatus::Ok; }
@@ -65,21 +68,11 @@ struct SimResult
 
     double ipc() const { return core.ipc(); }
 
-    /** DRAM accesses from the main thread (demand + stride pf). */
-    uint64_t
-    dramMain() const
-    {
-        return mem.dram_by_requester[size_t(Requester::Demand)] +
-               mem.dram_by_requester[size_t(Requester::StridePf)] +
-               mem.dram_by_requester[size_t(Requester::Imp)];
-    }
+    /** DRAM accesses from the main thread (demand + stride pf + IMP). */
+    uint64_t dramMain() const { return mem.dramMain(); }
 
     /** DRAM accesses from runahead prefetching. */
-    uint64_t
-    dramRunahead() const
-    {
-        return mem.dram_by_requester[size_t(Requester::Runahead)];
-    }
+    uint64_t dramRunahead() const { return mem.dramRunahead(); }
 };
 
 /**
@@ -99,12 +92,16 @@ SimResult runSimulation(const std::string &spec, Technique technique,
  * When @p warmup_insts is nonzero, that many leading instructions
  * warm the caches/predictors and are excluded from the statistics.
  * @p dvr_features overrides the technique-derived DVR feature set
- * (ablations); ignored for non-DVR techniques.
+ * (ablations); ignored for non-DVR techniques. @p trace, when
+ * non-null, is attached to the hierarchy, the engine, and the core
+ * for cycle-level event tracing (obs/trace.hh); statistics and
+ * digests are identical with and without it.
  */
 SimResult runWorkload(Workload &w, Technique technique,
                       SystemConfig cfg, uint64_t max_insts = 0,
                       uint64_t warmup_insts = 0,
-                      const DvrFeatures *dvr_features = nullptr);
+                      const DvrFeatures *dvr_features = nullptr,
+                      TraceSink *trace = nullptr);
 
 /**
  * Fault-isolated variants: any FatalError / PanicError / HangError

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "driver/repro.hh"
+#include "obs/trace.hh"
 #include "sim/parse.hh"
 
 namespace vrsim
@@ -45,9 +46,13 @@ SweepRunner::jobsFromEnv(unsigned dflt)
 }
 
 SimResult
-SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache)
+SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache,
+                      TraceSink *trace)
 {
     return runGuarded(p.spec, p.technique, [&] {
+        if (trace)
+            trace->meta(p.id(), p.spec, techniqueName(p.technique),
+                        p.max_insts, p.warmup);
         const std::string inject_msg = "fault injection requested for " +
             techniqueName(p.technique) + " (--inject-fail)";
         if (p.inject_fail) {
@@ -74,7 +79,8 @@ SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache)
             cfg.collect_digest = true;
         SimResult r = runWorkload(w, p.technique, cfg, p.max_insts,
                                   p.warmup,
-                                  p.features ? &*p.features : nullptr);
+                                  p.features ? &*p.features : nullptr,
+                                  trace);
         if (p.inject_fail && r.digest) {
             // Deterministic divergence: the digest check (or a
             // replay of the resulting bundle) must flag this cell.
@@ -159,6 +165,11 @@ SweepRunner::run(const RunPlan &plan)
     unsigned jobs = opts_.jobs ? opts_.jobs : jobsFromEnv();
     jobs = unsigned(
         std::min<size_t>(jobs, std::max<size_t>(1, points.size())));
+    if (opts_.trace && jobs > 1) {
+        warn("tracing writes one shared event stream; forcing "
+             "--jobs 1 for a deterministic trace");
+        jobs = 1;
+    }
 
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
@@ -178,7 +189,7 @@ SweepRunner::run(const RunPlan &plan)
             // Tag this thread's warn()/inform() lines with the point
             // so interleaved diagnostics stay attributable.
             setLogContext(p.id());
-            SimResult r = runPoint(p, cache);
+            SimResult r = runPoint(p, cache, opts_.trace);
             setLogContext("");
             size_t n = done.fetch_add(1) + 1;
             if (!r.ok())

@@ -29,6 +29,8 @@
 namespace vrsim
 {
 
+class TraceSink;
+
 /** Knobs for one sweep execution. */
 struct SweepOptions
 {
@@ -66,6 +68,14 @@ struct SweepOptions
      * run the rest. Requires `checkpoint` to be set.
      */
     bool resume = false;
+
+    /**
+     * Cycle-trace sink attached to every executed point
+     * (obs/trace.hh). The sink is a single shared stream, so tracing
+     * forces jobs = 1 (with a warning) to keep the event order
+     * deterministic. Statistics and digests are unaffected.
+     */
+    TraceSink *trace = nullptr;
 };
 
 class SweepRunner
@@ -87,10 +97,12 @@ class SweepRunner
      * Run one already-resolved point (bypasses the pool; tests and
      * --replay). Honors the point's injected-failure kind, including
      * Diverge (runs with digest collection and deterministically
-     * poisons the digest).
+     * poisons the digest). @p trace, when non-null, receives a meta
+     * event for the point followed by its cycle-level events.
      */
     static SimResult runPoint(const RunPoint &point,
-                              WorkloadCache &cache);
+                              WorkloadCache &cache,
+                              TraceSink *trace = nullptr);
 
     /**
      * Worker count the environment asks for: strict-parsed VRSIM_JOBS

@@ -1,6 +1,8 @@
 #include "mem/hierarchy.hh"
 
 #include "mem/imp.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 
 namespace vrsim
 {
@@ -55,11 +57,64 @@ MemoryHierarchy::inL1(uint64_t addr) const
     return l1d_.peek(l1d_.lineAddr(addr)) != nullptr;
 }
 
+void
+MemStats::registerIn(StatsRegistry &reg, double mlp) const
+{
+    reg.addCounter("mem.demand_accesses",
+                   "timed demand loads+stores") += demand_accesses;
+    reg.addCounter("mem.l1_hits", "demand accesses serviced by L1D") +=
+        demand_l1_hits;
+    reg.addCounter("mem.l2_hits", "demand accesses serviced by L2") +=
+        demand_l2_hits;
+    reg.addCounter("mem.l3_hits", "demand accesses serviced by L3") +=
+        demand_l3_hits;
+    reg.addCounter("mem.mem_accesses",
+                   "demand accesses serviced by DRAM") += demand_mem;
+    // Captured by value so the formula is self-contained (the raw
+    // latency sum is not itself a reported column).
+    const uint64_t acc = demand_accesses;
+    const uint64_t lat = demand_latency_sum;
+    reg.addFormula(
+        "mem.mean_load_latency",
+        [acc, lat](const StatsRegistry &) {
+            return acc ? double(lat) / double(acc) : 0.0;
+        },
+        "mean demand access latency in cycles");
+    reg.addCounter("mem.dram_total", "DRAM line fills, all requesters")
+        += dramTotal();
+    reg.addCounter("mem.dram_main",
+                   "DRAM fills from the main thread "
+                   "(demand + stride pf + IMP)") += dramMain();
+    reg.addCounter("mem.dram_runahead",
+                   "DRAM fills from runahead prefetching") +=
+        dramRunahead();
+    reg.addGauge("mem.mlp", "mean L1D MSHRs busy per cycle") = mlp;
+    reg.addCounter("mem.pf_lines_filled",
+                   "runahead prefetch fills issued") += pf_lines_filled;
+    reg.addCounter("mem.pf_used_l1",
+                   "runahead-prefetched lines first used from L1") +=
+        pf_used_l1;
+    reg.addCounter("mem.pf_used_l2",
+                   "runahead-prefetched lines first used from L2") +=
+        pf_used_l2;
+    reg.addCounter("mem.pf_used_l3",
+                   "runahead-prefetched lines first used from L3") +=
+        pf_used_l3;
+    reg.addCounter("mem.pf_used_inflight",
+                   "runahead-prefetched lines used while in transfer")
+        += pf_used_inflight;
+}
+
 AccessResult
 MemoryHierarchy::access(uint64_t addr, uint64_t pc, Cycle cycle,
                         bool is_store, Requester who)
 {
     AccessResult res = accessInternal(addr, cycle, is_store, who);
+
+    if (tsink_ && tsink_->enabled(TraceCat::Mem))
+        tsink_->mem(cycle, addr, pc, hitLevelName(res.level),
+                    res.latency, requesterName(who), is_store,
+                    l1_mshrs_.busyAt(cycle), res.mshr_stalled);
 
     if (who == Requester::Demand) {
         ++stats_.demand_accesses;

@@ -25,6 +25,8 @@ namespace vrsim
 {
 
 class ImpPrefetcher;
+class StatsRegistry;
+class TraceSink;
 
 /** Aggregated memory-system statistics for one simulation run. */
 struct MemStats
@@ -55,6 +57,30 @@ struct MemStats
             t += v;
         return t;
     }
+
+    /** DRAM accesses from the main thread (demand + stride pf + IMP). */
+    uint64_t
+    dramMain() const
+    {
+        return dram_by_requester[size_t(Requester::Demand)] +
+               dram_by_requester[size_t(Requester::StridePf)] +
+               dram_by_requester[size_t(Requester::Imp)];
+    }
+
+    /** DRAM accesses from runahead prefetching. */
+    uint64_t
+    dramRunahead() const
+    {
+        return dram_by_requester[size_t(Requester::Runahead)];
+    }
+
+    /**
+     * Register the reported memory statistics under "mem." paths in
+     * @p reg (docs/observability.md lists every path). @p mlp is the
+     * run's mean-L1D-MSHRs-per-cycle value (computed by the driver,
+     * which knows the cycle count).
+     */
+    void registerIn(StatsRegistry &reg, double mlp) const;
 
     /**
      * Counter-wise difference (for warmup exclusion). With @p check
@@ -151,6 +177,13 @@ class MemoryHierarchy
     /** Enable the IMP (constructed only for Technique::Imp). */
     void enableImp();
 
+    /**
+     * Attach a cycle-trace sink (obs/trace.hh): every timed access
+     * emits one TraceCat::Mem event. nullptr (the default) detaches;
+     * the only cost when detached is a null check per access.
+     */
+    void setTraceSink(TraceSink *sink) { tsink_ = sink; }
+
   private:
     friend class ImpPrefetcher;
 
@@ -179,6 +212,8 @@ class MemoryHierarchy
 
     StrideRpt stride_rpt_;
     std::unique_ptr<ImpPrefetcher> imp_;
+
+    TraceSink *tsink_ = nullptr;
 
     MemStats stats_;
 };

@@ -32,6 +32,32 @@ enum class HitLevel : uint8_t
     Memory = 4,
 };
 
+/** Stable lower-case requester name (trace events, stats paths). */
+constexpr const char *
+requesterName(Requester r)
+{
+    switch (r) {
+      case Requester::Demand: return "demand";
+      case Requester::Runahead: return "runahead";
+      case Requester::StridePf: return "stride_pf";
+      case Requester::Imp: return "imp";
+    }
+    return "unknown";
+}
+
+/** Stable lower-case level name (trace events). */
+constexpr const char *
+hitLevelName(HitLevel l)
+{
+    switch (l) {
+      case HitLevel::L1: return "l1";
+      case HitLevel::L2: return "l2";
+      case HitLevel::L3: return "l3";
+      case HitLevel::Memory: return "dram";
+    }
+    return "unknown";
+}
+
 /** Timing outcome of one access. */
 struct AccessResult
 {

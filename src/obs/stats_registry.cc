@@ -1,0 +1,271 @@
+#include "obs/stats_registry.hh"
+
+#include <cmath>
+
+namespace vrsim
+{
+
+const char *
+statKindName(StatKind k)
+{
+    switch (k) {
+      case StatKind::Counter: return "counter";
+      case StatKind::Gauge: return "gauge";
+      case StatKind::Average: return "average";
+      case StatKind::Histogram: return "histogram";
+      case StatKind::Formula: return "formula";
+    }
+    panic("unknown StatKind");
+}
+
+namespace
+{
+
+/** Paths are dotted lower-case segments: [a-z0-9_]+(\.[a-z0-9_]+)*. */
+bool
+validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_'))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+StatNode::sample(double v, uint64_t weight)
+{
+    panicIfNot(kind_ == StatKind::Average ||
+                   kind_ == StatKind::Histogram,
+               "sample() on non-sampling stat node " + path_);
+    sum_ += v * double(weight);
+    samples_ += weight;
+    if (kind_ == StatKind::Histogram) {
+        size_t idx = v < 0 ? 0 : size_t(v / bucket_width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        buckets_[idx] += weight;
+    }
+}
+
+double
+StatNode::value(const StatsRegistry &reg) const
+{
+    switch (kind_) {
+      case StatKind::Counter:
+        return double(count_);
+      case StatKind::Gauge:
+        return gauge_;
+      case StatKind::Average:
+      case StatKind::Histogram:
+        return samples_ ? sum_ / double(samples_) : 0.0;
+      case StatKind::Formula:
+        return formula_(reg);
+    }
+    panic("unknown StatKind");
+}
+
+StatNode &
+StatsRegistry::add(StatKind kind, const std::string &path,
+                   const std::string &desc)
+{
+    if (!validPath(path))
+        fatal("invalid stat path '" + path +
+              "' (want dotted lower-case segments, e.g. "
+              "core.commit.insts)");
+    auto it = nodes_.find(path);
+    if (it != nodes_.end())
+        fatal("duplicate stat registration for '" + path +
+              "': already registered as " +
+              statKindName(it->second->kind()) + ", re-registered as " +
+              statKindName(kind));
+    auto node = std::unique_ptr<StatNode>(
+        new StatNode(kind, path, desc));
+    StatNode &ref = *node;
+    nodes_.emplace(path, std::move(node));
+    return ref;
+}
+
+StatNode &
+StatsRegistry::addCounter(const std::string &path,
+                          const std::string &desc)
+{
+    return add(StatKind::Counter, path, desc);
+}
+
+StatNode &
+StatsRegistry::addGauge(const std::string &path, const std::string &desc)
+{
+    return add(StatKind::Gauge, path, desc);
+}
+
+StatNode &
+StatsRegistry::addAverage(const std::string &path,
+                          const std::string &desc)
+{
+    return add(StatKind::Average, path, desc);
+}
+
+StatNode &
+StatsRegistry::addHistogram(const std::string &path, size_t buckets,
+                            double bucket_width,
+                            const std::string &desc)
+{
+    panicIfNot(buckets > 0 && bucket_width > 0,
+               "histogram needs positive geometry: " + path);
+    StatNode &n = add(StatKind::Histogram, path, desc);
+    n.bucket_width_ = bucket_width;
+    n.buckets_.assign(buckets + 1, 0);
+    return n;
+}
+
+StatNode &
+StatsRegistry::addFormula(const std::string &path,
+                          StatNode::FormulaFn fn,
+                          const std::string &desc)
+{
+    panicIfNot(bool(fn), "formula stat needs a function: " + path);
+    StatNode &n = add(StatKind::Formula, path, desc);
+    n.formula_ = std::move(fn);
+    return n;
+}
+
+bool
+StatsRegistry::has(const std::string &path) const
+{
+    return nodes_.count(path) != 0;
+}
+
+const StatNode &
+StatsRegistry::at(const std::string &path) const
+{
+    auto it = nodes_.find(path);
+    if (it == nodes_.end())
+        fatal("unknown stat path: " + path);
+    return *it->second;
+}
+
+StatNode &
+StatsRegistry::at(const std::string &path)
+{
+    auto it = nodes_.find(path);
+    if (it == nodes_.end())
+        fatal("unknown stat path: " + path);
+    return *it->second;
+}
+
+const StatNode *
+StatsRegistry::find(const std::string &path) const
+{
+    auto it = nodes_.find(path);
+    return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+double
+StatsRegistry::value(const std::string &path) const
+{
+    return at(path).value(*this);
+}
+
+std::vector<std::string>
+StatsRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const auto &kv : nodes_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+StatsRegistry::visit(const std::function<void(const StatNode &)> &fn)
+    const
+{
+    for (const auto &kv : nodes_)
+        fn(*kv.second);
+}
+
+namespace
+{
+
+/**
+ * JSON number rendering that the strict reader accepts: integers as
+ * integers, finite doubles via %.17g (binary64 round-trip), and
+ * non-finite values as 0 (JSON has no NaN/Inf).
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    if (v == double(int64_t(v)) && std::fabs(v) < 1e15) {
+        os << int64_t(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &kv : nodes_) {
+        const StatNode &n = *kv.second;
+        os << (first ? "\n" : ",\n") << "  \"" << n.path() << "\": ";
+        first = false;
+        if (n.kind() == StatKind::Histogram) {
+            os << "{\"mean\": ";
+            jsonNumber(os, n.value(*this));
+            os << ", \"total\": " << n.samples();
+            os << ", \"bucket_width\": ";
+            jsonNumber(os, n.bucketWidth());
+            os << ", \"buckets\": [";
+            const auto &b = n.buckets();
+            for (size_t i = 0; i < b.size(); i++)
+                os << (i ? ", " : "") << b[i];
+            os << "]}";
+        } else {
+            jsonNumber(os, n.value(*this));
+        }
+    }
+    os << "\n}\n";
+}
+
+void
+StatsRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "path,kind,value,description\n";
+    for (const auto &kv : nodes_) {
+        const StatNode &n = *kv.second;
+        // Descriptions may contain the separator; keep rows parsable.
+        std::string desc = n.desc();
+        for (char &c : desc)
+            if (c == ',' || c == '\n')
+                c = ';';
+        os << n.path() << "," << statKindName(n.kind()) << ",";
+        jsonNumber(os, n.value(*this));
+        os << "," << desc << "\n";
+    }
+}
+
+} // namespace vrsim

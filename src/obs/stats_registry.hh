@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Hierarchical statistics registry, the uniform reporting layer of
+ * the observability subsystem (docs/observability.md): named nodes —
+ * Counter, Gauge, Average, Histogram, Formula — registered exactly
+ * once under dotted lower-case paths ("core.commit.insts",
+ * "dvr.lanes.issued"), looked up by path, iterated in lexicographic
+ * order, and dumped as JSON or CSV. Stat-producing components expose
+ * a `registerIn(StatsRegistry &, prefix)` method that maps their raw
+ * counter structs onto registry paths, so every report format (human
+ * report, sweep CSV, --format json, --stats-json) renders one shared
+ * name space instead of ad-hoc per-writer field lists.
+ */
+
+#ifndef VRSIM_OBS_STATS_REGISTRY_HH
+#define VRSIM_OBS_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+class StatsRegistry;
+
+/** What kind of statistic a registry node holds. */
+enum class StatKind : uint8_t
+{
+    Counter,    //!< monotone 64-bit event count
+    Gauge,      //!< instantaneous/derived double value
+    Average,    //!< arithmetic mean over samples
+    Histogram,  //!< fixed-width bucket distribution
+    Formula,    //!< value computed from other nodes on read
+};
+
+/** Printable kind name ("counter", "gauge", ...). */
+const char *statKindName(StatKind k);
+
+/**
+ * One registered statistic. Nodes live inside the registry; the
+ * references handed out by the add* methods stay valid for the
+ * registry's lifetime (node storage is never reallocated).
+ */
+class StatNode
+{
+  public:
+    using FormulaFn = std::function<double(const StatsRegistry &)>;
+
+    StatKind kind() const { return kind_; }
+    const std::string &path() const { return path_; }
+    const std::string &desc() const { return desc_; }
+
+    // -- Counter --
+    StatNode &operator++()
+    {
+        count_ += 1;
+        return *this;
+    }
+    StatNode &
+    operator+=(uint64_t v)
+    {
+        count_ += v;
+        return *this;
+    }
+    uint64_t count() const { return count_; }
+
+    // -- Gauge --
+    StatNode &
+    operator=(double v)
+    {
+        gauge_ = v;
+        return *this;
+    }
+
+    // -- Average / Histogram --
+    void sample(double v, uint64_t weight = 1);
+    uint64_t samples() const { return samples_; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    double bucketWidth() const { return bucket_width_; }
+
+    /**
+     * The node's scalar value: Counter -> count, Gauge -> value,
+     * Average/Histogram -> mean of samples, Formula -> evaluated.
+     */
+    double value(const StatsRegistry &reg) const;
+
+  private:
+    friend class StatsRegistry;
+
+    StatNode(StatKind kind, std::string path, std::string desc)
+        : kind_(kind), path_(std::move(path)), desc_(std::move(desc))
+    {}
+
+    StatKind kind_;
+    std::string path_;
+    std::string desc_;
+
+    uint64_t count_ = 0;        //!< Counter
+    double gauge_ = 0.0;        //!< Gauge
+    double sum_ = 0.0;          //!< Average/Histogram sample sum
+    uint64_t samples_ = 0;      //!< Average/Histogram sample count
+    double bucket_width_ = 1.0; //!< Histogram geometry
+    std::vector<uint64_t> buckets_;
+    FormulaFn formula_;
+};
+
+/**
+ * The registry: a flat map from dotted path to node. Paths are
+ * validated (`[a-z0-9_]+` segments joined by '.') and may be
+ * registered exactly once — a duplicate registration fatal()s with
+ * both the old and new kind, because silently aliasing two
+ * components' counters is how statistics go quietly wrong.
+ */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(StatsRegistry &&) = default;
+    StatsRegistry &operator=(StatsRegistry &&) = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** Register a monotone event counter. */
+    StatNode &addCounter(const std::string &path,
+                         const std::string &desc = "");
+
+    /** Register an instantaneous/derived value. */
+    StatNode &addGauge(const std::string &path,
+                       const std::string &desc = "");
+
+    /** Register an arithmetic-mean statistic. */
+    StatNode &addAverage(const std::string &path,
+                         const std::string &desc = "");
+
+    /** Register a fixed-width histogram over [0, buckets*width) plus
+     *  an overflow bucket. */
+    StatNode &addHistogram(const std::string &path, size_t buckets,
+                           double bucket_width,
+                           const std::string &desc = "");
+
+    /**
+     * Register a value computed from other nodes at read time. The
+     * function receives the registry so it can combine any paths;
+     * evaluation order is irrelevant because formulas never write.
+     */
+    StatNode &addFormula(const std::string &path, StatNode::FormulaFn fn,
+                         const std::string &desc = "");
+
+    bool has(const std::string &path) const;
+
+    /** Node by path; fatal() if absent. */
+    const StatNode &at(const std::string &path) const;
+    StatNode &at(const std::string &path);
+
+    /** Node by path or null. */
+    const StatNode *find(const std::string &path) const;
+
+    /** Scalar value of the node at @p path; fatal() if absent. */
+    double value(const std::string &path) const;
+
+    /** All paths in lexicographic order (the canonical dump order). */
+    std::vector<std::string> paths() const;
+
+    /** Visit every node in lexicographic path order. */
+    void visit(const std::function<void(const StatNode &)> &fn) const;
+
+    size_t size() const { return nodes_.size(); }
+
+    /**
+     * JSON object {"path": value, ...} in path order; histograms dump
+     * as {"mean":, "total":, "bucket_width":, "buckets": [...]}.
+     * Parseable by sim/parse.hh's strict JsonValue reader
+     * (round-trip tested).
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** CSV: "path,kind,value,description" header plus one row per
+     *  node in path order. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    StatNode &add(StatKind kind, const std::string &path,
+                  const std::string &desc);
+
+    // unique_ptr keeps handed-out StatNode references stable across
+    // later registrations.
+    std::map<std::string, std::unique_ptr<StatNode>> nodes_;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_OBS_STATS_REGISTRY_HH

@@ -1,0 +1,144 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+
+namespace vrsim
+{
+
+uint32_t
+TraceSink::parseCats(const std::string &spec)
+{
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        std::string name = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (name == "all")
+            mask |= TRACE_ALL;
+        else if (name == "pipeline")
+            mask |= uint32_t(TraceCat::Pipeline);
+        else if (name == "mem")
+            mask |= uint32_t(TraceCat::Mem);
+        else if (name == "runahead")
+            mask |= uint32_t(TraceCat::Runahead);
+        else if (name == "lanes")
+            mask |= uint32_t(TraceCat::Lanes);
+        else
+            fatal("unknown trace category '" + name +
+                  "' (want pipeline, mem, runahead, lanes or all)");
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (!mask)
+        fatal("empty trace category list");
+    return mask;
+}
+
+void
+TraceSink::parseSpec(const std::string &spec, uint32_t &mask,
+                     std::string &path)
+{
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        mask = TRACE_ALL;
+        path = spec;
+    } else {
+        mask = parseCats(spec.substr(0, colon));
+        path = spec.substr(colon + 1);
+    }
+    if (path.empty())
+        fatal("--trace needs an output file: EVENTS:FILE or FILE");
+}
+
+void
+TraceSink::meta(const std::string &point, const std::string &workload,
+                const std::string &technique, uint64_t roi,
+                uint64_t warmup)
+{
+    os_ << "{\"ev\":\"meta\",\"version\":" << TRACE_SCHEMA_VERSION
+        << ",\"point\":\"" << jsonEscape(point) << "\",\"workload\":\""
+        << jsonEscape(workload) << "\",\"technique\":\""
+        << jsonEscape(technique) << "\",\"roi\":" << roi
+        << ",\"warmup\":" << warmup << "}\n";
+    ++events_;
+}
+
+void
+TraceSink::inst(uint64_t index, uint32_t pc, const std::string &disasm,
+                uint64_t dispatch, uint64_t ready, uint64_t issue,
+                uint64_t complete, uint64_t commit, bool is_load,
+                bool mispredicted, uint32_t rob_occupancy)
+{
+    char buf[256];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ev\":\"inst\",\"cyc\":%llu,\"i\":%llu,\"pc\":%u,"
+        "\"disp\":%llu,\"ready\":%llu,\"iss\":%llu,\"comp\":%llu,"
+        "\"load\":%d,\"misp\":%d,\"rob\":%u,\"op\":\"",
+        (unsigned long long)commit, (unsigned long long)index, pc,
+        (unsigned long long)dispatch, (unsigned long long)ready,
+        (unsigned long long)issue, (unsigned long long)complete,
+        is_load ? 1 : 0, mispredicted ? 1 : 0, rob_occupancy);
+    os_.write(buf, n);
+    os_ << jsonEscape(disasm) << "\"}\n";
+    ++events_;
+}
+
+void
+TraceSink::mem(uint64_t cycle, uint64_t addr, uint64_t pc,
+               const char *level, uint64_t latency,
+               const char *requester, bool is_store, uint32_t mshr_busy,
+               bool mshr_stalled)
+{
+    char buf[256];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ev\":\"mem\",\"cyc\":%llu,\"addr\":%llu,\"pc\":%llu,"
+        "\"lvl\":\"%s\",\"lat\":%llu,\"req\":\"%s\",\"store\":%d,"
+        "\"mshr\":%u,\"mshr_stall\":%d}\n",
+        (unsigned long long)cycle, (unsigned long long)addr,
+        (unsigned long long)pc, level, (unsigned long long)latency,
+        requester, is_store ? 1 : 0, mshr_busy, mshr_stalled ? 1 : 0);
+    os_.write(buf, n);
+    ++events_;
+}
+
+void
+TraceSink::runahead(uint64_t cycle, const char *phase,
+                    const char *engine, const char *kind,
+                    uint32_t trigger_pc, uint64_t lanes,
+                    uint64_t prefetches)
+{
+    char buf[256];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ev\":\"runahead\",\"cyc\":%llu,\"phase\":\"%s\","
+        "\"engine\":\"%s\",\"kind\":\"%s\",\"trigger_pc\":%u,"
+        "\"lanes\":%llu,\"pf\":%llu}\n",
+        (unsigned long long)cycle, phase, engine, kind, trigger_pc,
+        (unsigned long long)lanes, (unsigned long long)prefetches);
+    os_.write(buf, n);
+    ++events_;
+}
+
+void
+TraceSink::lane(uint64_t cycle, uint32_t pc, uint32_t active_lanes,
+                uint32_t prefetches)
+{
+    char buf[128];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ev\":\"lane\",\"cyc\":%llu,\"pc\":%u,\"active\":%u,"
+        "\"pf\":%u}\n",
+        (unsigned long long)cycle, pc, active_lanes, prefetches);
+    os_.write(buf, n);
+    ++events_;
+}
+
+} // namespace vrsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cycle-level event tracing, the second leg of the observability
+ * subsystem (docs/observability.md): a TraceSink owns an output
+ * stream and a category mask and emits one newline-delimited JSON
+ * object per event. Components hold a nullable TraceSink pointer and
+ * guard every emission with `if (sink && sink->enabled(cat))`, so a
+ * run with tracing off pays exactly one branch per potential event
+ * and produces byte-identical statistics and digests.
+ *
+ * Event categories map to CLI selectors (`--trace EVENTS:file`):
+ *   pipeline  per-retired-instruction timestamps + ROB occupancy
+ *   mem       per-access hit level/latency + L1D MSHR occupancy
+ *   runahead  runahead-episode enter/exit with trigger PC and kind
+ *   lanes     vector-lane issue groups from the SIMT lane executor
+ *
+ * The field-by-field schema is documented in docs/observability.md;
+ * tools/trace2chrome.py converts a trace to Chrome's tracing format.
+ */
+
+#ifndef VRSIM_OBS_TRACE_HH
+#define VRSIM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace vrsim
+{
+
+/** Event categories; values are bitmask bits. */
+enum class TraceCat : uint32_t
+{
+    Pipeline = 1u << 0,
+    Mem = 1u << 1,
+    Runahead = 1u << 2,
+    Lanes = 1u << 3,
+};
+
+/** Schema version stamped into every meta event; bump on any
+ *  incompatible field change and update docs/observability.md. */
+constexpr uint32_t TRACE_SCHEMA_VERSION = 1;
+
+/** All categories enabled. */
+constexpr uint32_t TRACE_ALL = 0xF;
+
+class TraceSink
+{
+  public:
+    /**
+     * @param os   destination stream (owned by the caller; one JSON
+     *             object per line)
+     * @param mask bitwise-or of TraceCat bits (TRACE_ALL = everything)
+     */
+    explicit TraceSink(std::ostream &os, uint32_t mask = TRACE_ALL)
+        : os_(os), mask_(mask)
+    {}
+
+    /**
+     * Parse a category list: comma-separated names from {pipeline,
+     * mem, runahead, lanes, all}. fatal() on unknown names.
+     */
+    static uint32_t parseCats(const std::string &spec);
+
+    /**
+     * Split a `--trace EVENTS:file` argument into (mask, path). A
+     * bare path with no ':' selects all categories.
+     */
+    static void parseSpec(const std::string &spec, uint32_t &mask,
+                          std::string &path);
+
+    bool
+    enabled(TraceCat c) const
+    {
+        return (mask_ & uint32_t(c)) != 0;
+    }
+
+    uint64_t eventsEmitted() const { return events_; }
+
+    /** Run-boundary marker: workload/technique/point id + schema
+     *  version; emitted unconditionally (any category). */
+    void meta(const std::string &point, const std::string &workload,
+              const std::string &technique, uint64_t roi,
+              uint64_t warmup);
+
+    /** One retired instruction (TraceCat::Pipeline). */
+    void inst(uint64_t index, uint32_t pc, const std::string &disasm,
+              uint64_t dispatch, uint64_t ready, uint64_t issue,
+              uint64_t complete, uint64_t commit, bool is_load,
+              bool mispredicted, uint32_t rob_occupancy);
+
+    /** One timed memory access (TraceCat::Mem). */
+    void mem(uint64_t cycle, uint64_t addr, uint64_t pc,
+             const char *level, uint64_t latency, const char *requester,
+             bool is_store, uint32_t mshr_busy, bool mshr_stalled);
+
+    /** Runahead episode boundary (TraceCat::Runahead). @p phase is
+     *  "enter" or "exit". */
+    void runahead(uint64_t cycle, const char *phase, const char *engine,
+                  const char *kind, uint32_t trigger_pc, uint64_t lanes,
+                  uint64_t prefetches);
+
+    /** One SIMT vector-lane issue group (TraceCat::Lanes). */
+    void lane(uint64_t cycle, uint32_t pc, uint32_t active_lanes,
+              uint32_t prefetches);
+
+  private:
+    std::ostream &os_;
+    uint32_t mask_;
+    uint64_t events_ = 0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_OBS_TRACE_HH

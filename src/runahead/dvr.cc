@@ -2,10 +2,46 @@
 
 #include <algorithm>
 
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "sim/digest.hh"
 
 namespace vrsim
 {
+
+void
+DvrStats::registerIn(StatsRegistry &reg) const
+{
+    reg.addCounter("dvr.discoveries", "Discovery Mode entries") +=
+        discoveries;
+    reg.addCounter("dvr.discovery_aborts",
+                   "discoveries abandoned (no chain / timeout)") +=
+        discovery_aborts;
+    reg.addCounter("dvr.innermost_switches",
+                   "Discovery retargets to an inner stride") +=
+        innermost_switches;
+    reg.addCounter("dvr.spawns", "vector subthread invocations") +=
+        spawns;
+    reg.addCounter("dvr.nested_spawns",
+                   "NDM-expanded subthread invocations") += nested_spawns;
+    reg.addCounter("dvr.lanes", "vector lanes spawned") += lanes_spawned;
+    reg.addFormula(
+        "dvr.mean_lanes",
+        [](const StatsRegistry &r) {
+            double s = r.value("dvr.spawns");
+            return s ? r.value("dvr.lanes") / s : 0.0;
+        },
+        "mean lanes per subthread invocation");
+    reg.addCounter("dvr.prefetches", "prefetches issued by DVR") +=
+        prefetches;
+    reg.addCounter("dvr.divergences", "SIMT lane divergence events") +=
+        divergences;
+    reg.addCounter("dvr.bound_limited",
+                   "spawns clipped by the inferred loop bound") +=
+        bound_limited;
+    reg.addCounter("dvr.dedupe_skips",
+                   "spawns skipped as already covered") += dedupe_skips;
+}
 
 DecoupledVectorRunahead::DecoupledVectorRunahead(
     const SystemConfig &cfg, const Program &prog, MemoryImage &image,
@@ -154,6 +190,7 @@ DecoupledVectorRunahead::spawn(const StepInfo &si, const CpuState &after,
     const RptEntry *entry = rpt_.predict(target_pc_);
     if (!entry)
         return;
+    const uint64_t pf_before = stats_.prefetches;
     const int64_t stride = entry->stride;
     const uint32_t flr = features_.discovery ? lbd_.flr() : 0;
 
@@ -241,6 +278,9 @@ DecoupledVectorRunahead::spawn(const StepInfo &si, const CpuState &after,
 
     ++stats_.spawns;
     stats_.lanes_spawned += lanes_n;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(cycle, "enter", name(), "stride",
+                              target_pc_, lanes_n, 0);
 
     bool stop_at_flr = flr != 0 && !saw_other_branch_;
     LaneRunStats lr = executor_.run(lanes, target_pc_, flr, stop_at_flr,
@@ -249,6 +289,10 @@ DecoupledVectorRunahead::spawn(const StepInfo &si, const CpuState &after,
     stats_.prefetches += lr.prefetches;
     stats_.divergences += lr.divergences;
     busy_until_ = lr.end_time;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(busy_until_, "exit", name(), "stride",
+                              target_pc_, lanes_n,
+                              stats_.prefetches - pf_before);
 }
 
 void
@@ -263,6 +307,7 @@ DecoupledVectorRunahead::spawnNested(const StepInfo &si,
         ++stats_.ndm_fallbacks;
         return;
     }
+    const uint64_t pf_before = stats_.prefetches;
     const int64_t istride = inner->stride;
 
     // NDM and both vectorization steps below are transient subthread
@@ -334,12 +379,19 @@ DecoupledVectorRunahead::spawnNested(const StepInfo &si,
         }
         ++stats_.spawns;
         stats_.lanes_spawned += lanes_n;
+        if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+            trace_sink_->runahead(cycle, "enter", name(), "stride",
+                                  ilr_pc, lanes_n, 0);
         LaneRunStats lr = executor_.run(lanes, ilr_pc, lbd_.flr(),
                                         !saw_other_branch_,
                                         features_.reconverge, vir.now());
         stats_.prefetches += lr.prefetches;
         stats_.divergences += lr.divergences;
         busy_until_ = lr.end_time;
+        if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+            trace_sink_->runahead(busy_until_, "exit", name(), "stride",
+                                  ilr_pc, lanes_n,
+                                  stats_.prefetches - pf_before);
         return;
     }
 
@@ -448,12 +500,19 @@ DecoupledVectorRunahead::spawnNested(const StepInfo &si,
     ++stats_.spawns;
     ++stats_.nested_spawns;
     stats_.lanes_spawned += lanes.size();
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(cycle, "enter", name(), "nested",
+                              ilr_pc, lanes.size(), 0);
     LaneRunStats lr = executor_.run(lanes, ilr_pc, lbd_.flr(),
                                     !saw_other_branch_,
                                     features_.reconverge, t2);
     stats_.prefetches += lr.prefetches;
     stats_.divergences += lr.divergences;
     busy_until_ = lr.end_time;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(busy_until_, "exit", name(), "nested",
+                              ilr_pc, lanes.size(),
+                              stats_.prefetches - pf_before);
 }
 
 } // namespace vrsim

@@ -27,6 +27,8 @@
 namespace vrsim
 {
 
+class StatsRegistry;
+
 /** Feature toggles reproducing Fig. 8's breakdown steps. */
 struct DvrFeatures
 {
@@ -62,6 +64,9 @@ struct DvrStats
     {
         return spawns ? double(lanes_spawned) / double(spawns) : 0.0;
     }
+
+    /** Register the reported statistics under "dvr." paths. */
+    void registerIn(StatsRegistry &reg) const;
 };
 
 /** The Decoupled Vector Runahead engine. */
@@ -84,6 +89,13 @@ class DecoupledVectorRunahead : public RunaheadEngine
     }
 
     const char *name() const override { return "DVR"; }
+
+    void
+    setTraceSink(TraceSink *sink) override
+    {
+        RunaheadEngine::setTraceSink(sink);
+        executor_.setTraceSink(sink);
+    }
 
     const DvrStats &stats() const { return stats_; }
     const StrideRpt &rpt() const { return rpt_; }

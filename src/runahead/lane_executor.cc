@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/digest.hh"
 
 namespace vrsim
@@ -139,6 +140,8 @@ LaneExecutor::run(std::vector<Lane> &lanes, uint32_t stride_pc,
         }
 
         Cycle t0 = vir.issue(active, vectorized);
+        const uint64_t pf_before_step = st.prefetches;
+        const uint32_t active_at_issue = uint32_t(active.count());
 
         // Execute all active lanes functionally and time their
         // memory accesses.
@@ -185,6 +188,11 @@ LaneExecutor::run(std::vector<Lane> &lanes, uint32_t stride_pc,
                 active.reset(j);
             }
         }
+
+        if (tsink_ && tsink_->enabled(TraceCat::Lanes) &&
+            st.prefetches > pf_before_step)
+            tsink_->lane(t0, pc, active_at_issue,
+                         uint32_t(st.prefetches - pf_before_step));
 
         if (active.none())
             continue;

@@ -23,6 +23,8 @@
 namespace vrsim
 {
 
+class TraceSink;
+
 /** One scalar-equivalent lane of the vectorized subthread. */
 struct Lane
 {
@@ -85,12 +87,19 @@ class LaneExecutor
                      uint32_t flr_pc, bool stop_at_flr, bool reconverge,
                      Cycle start_cycle, Vrat *vrat = nullptr);
 
+    /**
+     * Attach a cycle-trace sink (obs/trace.hh): every vector-load
+     * issue group emits one TraceCat::Lanes event. nullptr detaches.
+     */
+    void setTraceSink(TraceSink *sink) { tsink_ = sink; }
+
   private:
     const RunaheadConfig &cfg_;
     const Program &prog_;
     MemoryImage &image_;
     MemoryHierarchy &hier_;
     bool invariant_checks_;
+    TraceSink *tsink_ = nullptr;
 };
 
 } // namespace vrsim

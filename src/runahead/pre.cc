@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "sim/digest.hh"
 
 namespace vrsim
 {
+
+void
+PreStats::registerIn(StatsRegistry &reg) const
+{
+    reg.addCounter("pre.intervals", "PRE runahead episodes") +=
+        intervals;
+    reg.addCounter("pre.prefetches", "loads issued during PRE") +=
+        prefetches;
+    reg.addCounter("pre.skipped_dependent",
+                   "loads skipped past the first indirection level") +=
+        skipped_dependent;
+}
 
 Cycle
 PreEngine::onFullRobStall(Cycle stall_start, Cycle head_fill,
@@ -20,6 +34,10 @@ PreEngine::onFullRobStall(Cycle stall_start, Cycle head_fill,
     if (kind == TriggerKind::BranchStall)
         return head_fill;
     ++stats_.intervals;
+    const uint64_t pf_before = stats_.prefetches;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(stall_start, "enter", name(), "window",
+                              frontier.pc, 0, 0);
 
     // Runahead executes future instructions using the front-end's
     // delivery rate for the duration of the interval. We track
@@ -77,7 +95,10 @@ PreEngine::onFullRobStall(Cycle stall_start, Cycle head_fill,
         }
     }
 
-    stats_.insts_examined += 0;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(head_fill, "exit", name(), "window",
+                              frontier.pc, 0,
+                              stats_.prefetches - pf_before);
     return head_fill;   // PRE exits when the blocking load returns
 }
 

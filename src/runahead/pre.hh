@@ -22,6 +22,8 @@
 namespace vrsim
 {
 
+class StatsRegistry;
+
 /** Statistics of the PRE engine. */
 struct PreStats
 {
@@ -30,6 +32,9 @@ struct PreStats
     uint64_t prefetches = 0;      //!< loads issued in runahead
     uint64_t skipped_dependent = 0; //!< loads whose inputs missed the
                                     //!< interval (>= 1st indirection)
+
+    /** Register the reported statistics under "pre." paths. */
+    void registerIn(StatsRegistry &reg) const;
 };
 
 /** The PRE engine. */

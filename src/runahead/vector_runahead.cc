@@ -2,10 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "sim/digest.hh"
 
 namespace vrsim
 {
+
+void
+VrStats::registerIn(StatsRegistry &reg) const
+{
+    reg.addCounter("vr.triggers", "full-window stalls VR saw") +=
+        triggers;
+    reg.addCounter("vr.vectorizations",
+                   "stalls where a striding load was vectorized") +=
+        vectorizations;
+    reg.addCounter("vr.lanes", "vector lanes spawned") += lanes_spawned;
+    reg.addCounter("vr.prefetches", "prefetches issued by VR lanes") +=
+        prefetches;
+    reg.addCounter("vr.lanes_invalidated",
+                   "control-divergent lanes invalidated") +=
+        lanes_invalidated;
+}
 
 void
 VectorRunahead::onInstruction(const StepInfo &si, const CpuState &after,
@@ -24,10 +42,14 @@ VectorRunahead::onFullRobStall(Cycle stall_start, Cycle head_fill,
                                const CpuState &frontier,
                                TriggerKind kind)
 {
-    (void)kind;   // VR vectorizes from the stride detector, whose
-                  // future iterations are on the correct path even
-                  // when the trigger came from a wrong-path window.
+    // VR vectorizes from the stride detector, whose future iterations
+    // are on the correct path even when the trigger came from a
+    // wrong-path window, so both trigger kinds engage it.
     ++stats_.triggers;
+    const uint64_t pf_before = stats_.prefetches;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(stall_start, "enter", name(),
+                              triggerKindName(kind), frontier.pc, 0, 0);
 
     // The whole runahead interval (scan + vectorized lanes) is
     // transient execution: the guard makes any commit recorded inside
@@ -54,8 +76,13 @@ VectorRunahead::onFullRobStall(Cycle stall_start, Cycle head_fill,
             }
         }
     }
-    if (!entry)
+    if (!entry) {
+        if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+            trace_sink_->runahead(head_fill, "exit", name(),
+                                  triggerKindName(kind), frontier.pc,
+                                  0, 0);
         return head_fill;
+    }
 
     ++stats_.vectorizations;
 
@@ -108,6 +135,10 @@ VectorRunahead::onFullRobStall(Cycle stall_start, Cycle head_fill,
     // accesses have been generated.
     Cycle exit = std::max(head_fill, lr.end_time);
     stats_.delayed_term_cycles += exit - head_fill;
+    if (trace_sink_ && trace_sink_->enabled(TraceCat::Runahead))
+        trace_sink_->runahead(exit, "exit", name(),
+                              triggerKindName(kind), frontier.pc,
+                              lanes_n, stats_.prefetches - pf_before);
     return exit;
 }
 

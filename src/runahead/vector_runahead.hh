@@ -23,6 +23,8 @@
 namespace vrsim
 {
 
+class StatsRegistry;
+
 /** Statistics of the VR engine. */
 struct VrStats
 {
@@ -32,6 +34,9 @@ struct VrStats
     uint64_t prefetches = 0;
     uint64_t lanes_invalidated = 0; //!< control-divergent lanes killed
     uint64_t delayed_term_cycles = 0; //!< commit stalled past head fill
+
+    /** Register the reported statistics under "vr." paths. */
+    void registerIn(StatsRegistry &reg) const;
 };
 
 /** The Vector Runahead engine. */
@@ -58,6 +63,13 @@ class VectorRunahead : public RunaheadEngine
                          TriggerKind kind) override;
 
     const char *name() const override { return "VR"; }
+
+    void
+    setTraceSink(TraceSink *sink) override
+    {
+        RunaheadEngine::setTraceSink(sink);
+        executor_.setTraceSink(sink);
+    }
 
     const VrStats &stats() const { return stats_; }
     const StrideRpt &rpt() const { return rpt_; }

@@ -1,5 +1,6 @@
 #include "workloads/workload_cache.hh"
 
+#include "obs/self_profile.hh"
 #include "sim/logging.hh"
 
 namespace vrsim
@@ -40,6 +41,8 @@ WorkloadCache::artifact(const std::string &spec,
     // Build outside the lock so other keys proceed concurrently;
     // waiters for this key block on the shared future instead.
     try {
+        SelfProfiler::PhaseTimer pt =
+            SelfProfiler::process().phase("workload-build");
         auto built = std::make_shared<const Workload>(
             makeWorkload(spec, gscale, hscale));
         builds_.fetch_add(1);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Tests for the report writers: stat flattening, CSV shape, and the
+ * Tests for the report writers: registry mapping, CSV shape, and the
  * human-readable report's content.
  */
 
@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "driver/report.hh"
+#include "obs/self_profile.hh"
 
 namespace vrsim
 {
@@ -27,9 +28,9 @@ sampleResult(Technique t)
                          10000);
 }
 
-TEST(ReportTest, StatGroupHasCoreAndMemKeys)
+TEST(ReportTest, RegistryHasCoreAndMemKeys)
 {
-    StatGroup g = toStatGroup(sampleResult(Technique::OoO));
+    StatsRegistry g = buildRegistry(sampleResult(Technique::OoO));
     for (const char *k :
          {"core.instructions", "core.cycles", "core.ipc", "core.loads",
           "mem.demand_accesses", "mem.dram_total", "mem.mlp",
@@ -39,15 +40,28 @@ TEST(ReportTest, StatGroupHasCoreAndMemKeys)
     EXPECT_FALSE(g.has("dvr.spawns"));
 }
 
-TEST(ReportTest, StatGroupIncludesEngineSections)
+TEST(ReportTest, RegistryIncludesEngineSections)
 {
-    StatGroup d = toStatGroup(sampleResult(Technique::Dvr));
+    StatsRegistry d = buildRegistry(sampleResult(Technique::Dvr));
     EXPECT_TRUE(d.has("dvr.spawns"));
     EXPECT_TRUE(d.has("dvr.mean_lanes"));
-    StatGroup v = toStatGroup(sampleResult(Technique::Vr));
+    StatsRegistry v = buildRegistry(sampleResult(Technique::Vr));
     EXPECT_TRUE(v.has("vr.triggers"));
-    StatGroup p = toStatGroup(sampleResult(Technique::Pre));
+    StatsRegistry p = buildRegistry(sampleResult(Technique::Pre));
     EXPECT_TRUE(p.has("pre.intervals"));
+}
+
+TEST(ReportTest, RegistryHostColumnsAreOptIn)
+{
+    SimResult r = sampleResult(Technique::OoO);
+    r.host_seconds = 0.5;
+    EXPECT_FALSE(buildRegistry(r).has("host.seconds"));
+    setProfileColumns(true);
+    StatsRegistry g = buildRegistry(r);
+    setProfileColumns(false);
+    ASSERT_TRUE(g.has("host.seconds"));
+    EXPECT_DOUBLE_EQ(g.value("host.seconds"), 0.5);
+    EXPECT_GT(g.value("host.minsts_per_sec"), 0.0);
 }
 
 TEST(ReportTest, CsvHasHeaderAndMatchingColumns)

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * End-to-end observability guarantees: attaching a trace sink must not
+ * perturb a sweep's statistics (byte-identical CSV), traced sweeps
+ * stay deterministic across requested job counts (tracing forces one
+ * worker), and the per-point trace stream carries one meta event per
+ * plan point with pipeline events in between.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/report.hh"
+#include "driver/sweep_runner.hh"
+#include "obs/trace.hh"
+#include "sim/parse.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+RunPlan
+smallPlan()
+{
+    GraphScale g;
+    g.nodes = 1 << 10;
+    g.avg_degree = 8;
+    HpcDbScale h;
+    h.elements = 1 << 10;
+    RunPlan plan(SystemConfig::benchScale());
+    plan.scale(g, h).roi(4000).warmup(500);
+    plan.add({"camel"}, {Technique::OoO, Technique::Vr,
+                         Technique::Dvr});
+    return plan;
+}
+
+std::string
+tableCsv(const ResultTable &table)
+{
+    std::ostringstream os;
+    table.writeCsv(os);
+    return os.str();
+}
+
+ResultTable
+sweep(unsigned jobs, WorkloadCache &cache, TraceSink *trace = nullptr)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    opts.cache = &cache;
+    opts.trace = trace;
+    return SweepRunner(opts).run(smallPlan());
+}
+
+TEST(ObsIntegrationTest, TracingDoesNotPerturbStats)
+{
+    WorkloadCache cache;
+    std::string plain = tableCsv(sweep(1, cache));
+
+    std::ostringstream trace_os;
+    TraceSink sink(trace_os);
+    std::string traced = tableCsv(sweep(1, cache, &sink));
+
+    EXPECT_EQ(plain, traced);
+    EXPECT_GT(sink.eventsEmitted(), 0u);
+}
+
+TEST(ObsIntegrationTest, TracedSweepDeterministicAcrossJobRequests)
+{
+    // Tracing forces one worker, so an 8-job request must yield the
+    // same table AND the same event stream as an explicit 1-job run.
+    WorkloadCache cache;
+    std::ostringstream os1, os8;
+    TraceSink sink1(os1), sink8(os8);
+    std::string csv1 = tableCsv(sweep(1, cache, &sink1));
+    std::string csv8 = tableCsv(sweep(8, cache, &sink8));
+    EXPECT_EQ(csv1, csv8);
+    EXPECT_EQ(os1.str(), os8.str());
+}
+
+TEST(ObsIntegrationTest, TraceCarriesOneMetaPerPoint)
+{
+    WorkloadCache cache;
+    std::ostringstream os;
+    TraceSink sink(os);
+    sweep(1, cache, &sink);
+
+    size_t metas = 0;
+    std::istringstream in(os.str());
+    std::string line;
+    std::vector<std::string> points;
+    while (std::getline(in, line)) {
+        JsonValue ev = JsonValue::parse("event", line);
+        if (ev.at("ev").asString() == "meta") {
+            ++metas;
+            EXPECT_EQ(ev.at("version").asU64(), TRACE_SCHEMA_VERSION);
+            points.push_back(ev.at("point").asString());
+        }
+    }
+    EXPECT_EQ(metas, 3u);
+    EXPECT_EQ(points, (std::vector<std::string>{
+                          "camel:OoO", "camel:VR", "camel:DVR"}));
+}
+
+TEST(ObsIntegrationTest, CategoryMaskLimitsEmittedEvents)
+{
+    WorkloadCache cache;
+    std::ostringstream all_os, ra_os;
+    TraceSink all_sink(all_os);
+    TraceSink ra_sink(ra_os, uint32_t(TraceCat::Runahead));
+    sweep(1, cache, &all_sink);
+    sweep(1, cache, &ra_sink);
+    EXPECT_LT(ra_sink.eventsEmitted(), all_sink.eventsEmitted());
+
+    std::istringstream in(ra_os.str());
+    std::string line;
+    while (std::getline(in, line)) {
+        JsonValue ev = JsonValue::parse("event", line);
+        const std::string kind = ev.at("ev").asString();
+        EXPECT_TRUE(kind == "meta" || kind == "runahead") << kind;
+    }
+}
+
+TEST(ObsIntegrationTest, StatsJsonDumpsEveryPoint)
+{
+    WorkloadCache cache;
+    ResultTable table = sweep(1, cache);
+    std::ostringstream os;
+    writeStatsJson(os, table);
+    JsonValue doc = JsonValue::parse("stats-json", os.str());
+    ASSERT_EQ(doc.asArray().size(), 3u);
+    const JsonValue &cell = doc.asArray()[1];
+    EXPECT_EQ(cell.at("point").asString(), "camel:VR");
+    EXPECT_EQ(cell.at("technique").asString(), "VR");
+    EXPECT_EQ(cell.at("status").asString(), "ok");
+    const JsonValue &stats = cell.at("stats");
+    EXPECT_GT(stats.at("core.instructions").asU64(), 0u);
+    EXPECT_GT(stats.at("vr.triggers").asU64(), 0u);
+    EXPECT_FALSE(stats.find("host.seconds"));  // profiling off
+}
+
+} // namespace
+} // namespace vrsim

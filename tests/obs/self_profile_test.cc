@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the host-side self-profiler: phase accumulation, simulated
+ * work counters, the exit-summary line, and the opt-in gate for host
+ * columns in reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/self_profile.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(SelfProfilerTest, PhasesAccumulate)
+{
+    SelfProfiler p;
+    {
+        SelfProfiler::PhaseTimer t = p.phase("simulate");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+        SelfProfiler::PhaseTimer t = p.phase("simulate");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(p.phaseSeconds("simulate"), 0.0);
+    EXPECT_DOUBLE_EQ(p.phaseSeconds("never-timed"), 0.0);
+}
+
+TEST(SelfProfilerTest, MovedFromTimerDoesNotDoubleCount)
+{
+    SelfProfiler p;
+    {
+        SelfProfiler::PhaseTimer outer = [&] {
+            SelfProfiler::PhaseTimer inner = p.phase("report");
+            return inner;  // moved out; inner must not record
+        }();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Exactly one recording: seconds > 0 but only one phase entry.
+    EXPECT_GT(p.phaseSeconds("report"), 0.0);
+}
+
+TEST(SelfProfilerTest, SimulatedWorkCounters)
+{
+    SelfProfiler p;
+    p.addSimulated(5000, 8000);
+    p.addSimulated(1000, 2000);
+    EXPECT_EQ(p.insts(), 6000u);
+    EXPECT_EQ(p.cycles(), 10000u);
+    EXPECT_EQ(p.points(), 2u);
+    EXPECT_GT(p.instsPerSecond(), 0.0);
+}
+
+TEST(SelfProfilerTest, SummaryNamesThroughputAndPhases)
+{
+    SelfProfiler p;
+    p.addSimulated(2'000'000, 3'000'000);
+    { SelfProfiler::PhaseTimer t = p.phase("simulate"); }
+    std::string s = p.summary();
+    EXPECT_NE(s.find("self-profile:"), std::string::npos) << s;
+    EXPECT_NE(s.find("1 points"), std::string::npos) << s;
+    EXPECT_NE(s.find("2.00 Minsts"), std::string::npos) << s;
+    EXPECT_NE(s.find("Minsts/s"), std::string::npos) << s;
+    EXPECT_NE(s.find("simulate"), std::string::npos) << s;
+}
+
+TEST(SelfProfilerTest, ResetForgetsEverything)
+{
+    SelfProfiler p;
+    p.addSimulated(100, 100);
+    { SelfProfiler::PhaseTimer t = p.phase("simulate"); }
+    p.reset();
+    EXPECT_EQ(p.insts(), 0u);
+    EXPECT_EQ(p.points(), 0u);
+    EXPECT_DOUBLE_EQ(p.phaseSeconds("simulate"), 0.0);
+}
+
+TEST(SelfProfilerTest, ProfileColumnsToggle)
+{
+    setProfileColumns(true);
+    EXPECT_TRUE(profileColumnsEnabled());
+    setProfileColumns(false);
+    EXPECT_FALSE(profileColumnsEnabled());
+}
+
+} // namespace
+} // namespace vrsim

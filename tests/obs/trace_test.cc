@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the cycle-level trace sink: spec/category parsing, the
+ * per-event NDJSON schema (every line parses under the strict
+ * sim/parse.hh reader with the documented fields), and a golden-file
+ * check that pins the exact serialized bytes — the schema is a
+ * contract with tools/trace2chrome.py and external consumers, so any
+ * change must be deliberate (bump TRACE_SCHEMA_VERSION, regenerate
+ * with VRSIM_REGEN_GOLDEN=1, update docs/observability.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+/** One deterministic event of every kind (the golden sequence). */
+void
+emitSample(TraceSink &sink)
+{
+    sink.meta("camel:VR", "camel", "VR", 8000, 1000);
+    sink.inst(0, 7, "ld r1, [r2]", 10, 11, 12, 40, 41, true, false, 3);
+    sink.mem(12, 4096, 7, "l2", 14, "demand", false, 2, true);
+    sink.runahead(50, "enter", "VR", "window", 7, 0, 0);
+    sink.lane(60, 9, 64, 32);
+    sink.runahead(90, "exit", "VR", "window", 7, 64, 32);
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(TraceSpecTest, ParseCats)
+{
+    EXPECT_EQ(TraceSink::parseCats("all"), TRACE_ALL);
+    EXPECT_EQ(TraceSink::parseCats("pipeline"),
+              uint32_t(TraceCat::Pipeline));
+    EXPECT_EQ(TraceSink::parseCats("mem,lanes"),
+              uint32_t(TraceCat::Mem) | uint32_t(TraceCat::Lanes));
+    EXPECT_EQ(TraceSink::parseCats("runahead,runahead"),
+              uint32_t(TraceCat::Runahead));
+    EXPECT_THROW(TraceSink::parseCats("bogus"), FatalError);
+    EXPECT_THROW(TraceSink::parseCats(""), FatalError);
+}
+
+TEST(TraceSpecTest, ParseSpec)
+{
+    uint32_t mask = 0;
+    std::string path;
+    TraceSink::parseSpec("mem,runahead:/tmp/t.ndjson", mask, path);
+    EXPECT_EQ(mask,
+              uint32_t(TraceCat::Mem) | uint32_t(TraceCat::Runahead));
+    EXPECT_EQ(path, "/tmp/t.ndjson");
+    // A bare path traces everything.
+    TraceSink::parseSpec("trace.out", mask, path);
+    EXPECT_EQ(mask, TRACE_ALL);
+    EXPECT_EQ(path, "trace.out");
+    EXPECT_THROW(TraceSink::parseSpec("mem:", mask, path), FatalError);
+}
+
+TEST(TraceSinkTest, MaskGatesCategories)
+{
+    std::ostringstream os;
+    TraceSink sink(os, uint32_t(TraceCat::Mem));
+    EXPECT_TRUE(sink.enabled(TraceCat::Mem));
+    EXPECT_FALSE(sink.enabled(TraceCat::Pipeline));
+    EXPECT_FALSE(sink.enabled(TraceCat::Runahead));
+    EXPECT_FALSE(sink.enabled(TraceCat::Lanes));
+}
+
+TEST(TraceSinkTest, EverySchemaFieldParsesStrictly)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    emitSample(sink);
+    EXPECT_EQ(sink.eventsEmitted(), 6u);
+
+    std::vector<std::string> ls = lines(os.str());
+    ASSERT_EQ(ls.size(), 6u);
+
+    JsonValue meta = JsonValue::parse("meta", ls[0]);
+    EXPECT_EQ(meta.at("ev").asString(), "meta");
+    EXPECT_EQ(meta.at("version").asU64(), TRACE_SCHEMA_VERSION);
+    EXPECT_EQ(meta.at("point").asString(), "camel:VR");
+    EXPECT_EQ(meta.at("workload").asString(), "camel");
+    EXPECT_EQ(meta.at("technique").asString(), "VR");
+    EXPECT_EQ(meta.at("roi").asU64(), 8000u);
+    EXPECT_EQ(meta.at("warmup").asU64(), 1000u);
+
+    JsonValue inst = JsonValue::parse("inst", ls[1]);
+    EXPECT_EQ(inst.at("ev").asString(), "inst");
+    EXPECT_EQ(inst.at("cyc").asU64(), 41u);  // commit cycle
+    EXPECT_EQ(inst.at("i").asU64(), 0u);
+    EXPECT_EQ(inst.at("pc").asU64(), 7u);
+    EXPECT_EQ(inst.at("disp").asU64(), 10u);
+    EXPECT_EQ(inst.at("ready").asU64(), 11u);
+    EXPECT_EQ(inst.at("iss").asU64(), 12u);
+    EXPECT_EQ(inst.at("comp").asU64(), 40u);
+    EXPECT_EQ(inst.at("load").asU64(), 1u);
+    EXPECT_EQ(inst.at("misp").asU64(), 0u);
+    EXPECT_EQ(inst.at("rob").asU64(), 3u);
+    EXPECT_EQ(inst.at("op").asString(), "ld r1, [r2]");
+
+    JsonValue mem = JsonValue::parse("mem", ls[2]);
+    EXPECT_EQ(mem.at("ev").asString(), "mem");
+    EXPECT_EQ(mem.at("cyc").asU64(), 12u);
+    EXPECT_EQ(mem.at("addr").asU64(), 4096u);
+    EXPECT_EQ(mem.at("lvl").asString(), "l2");
+    EXPECT_EQ(mem.at("lat").asU64(), 14u);
+    EXPECT_EQ(mem.at("req").asString(), "demand");
+    EXPECT_EQ(mem.at("store").asU64(), 0u);
+    EXPECT_EQ(mem.at("mshr").asU64(), 2u);
+    EXPECT_EQ(mem.at("mshr_stall").asU64(), 1u);
+
+    JsonValue ra = JsonValue::parse("runahead", ls[3]);
+    EXPECT_EQ(ra.at("ev").asString(), "runahead");
+    EXPECT_EQ(ra.at("phase").asString(), "enter");
+    EXPECT_EQ(ra.at("engine").asString(), "VR");
+    EXPECT_EQ(ra.at("kind").asString(), "window");
+    EXPECT_EQ(ra.at("trigger_pc").asU64(), 7u);
+
+    JsonValue lane = JsonValue::parse("lane", ls[4]);
+    EXPECT_EQ(lane.at("ev").asString(), "lane");
+    EXPECT_EQ(lane.at("cyc").asU64(), 60u);
+    EXPECT_EQ(lane.at("pc").asU64(), 9u);
+    EXPECT_EQ(lane.at("active").asU64(), 64u);
+    EXPECT_EQ(lane.at("pf").asU64(), 32u);
+
+    JsonValue exit_ev = JsonValue::parse("exit", ls[5]);
+    EXPECT_EQ(exit_ev.at("phase").asString(), "exit");
+    EXPECT_EQ(exit_ev.at("lanes").asU64(), 64u);
+    EXPECT_EQ(exit_ev.at("pf").asU64(), 32u);
+}
+
+TEST(TraceSinkTest, GoldenFilePinsExactBytes)
+{
+    const std::string golden_path =
+        std::string(VRSIM_OBS_TEST_DATA) + "/trace_events.ndjson";
+    std::ostringstream os;
+    TraceSink sink(os);
+    emitSample(sink);
+
+    if (const char *regen = std::getenv("VRSIM_REGEN_GOLDEN");
+        regen && *regen && std::string(regen) != "0") {
+        std::ofstream out(golden_path, std::ios::trunc |
+                                       std::ios::binary);
+        ASSERT_TRUE(out) << golden_path;
+        out << os.str();
+        GTEST_SKIP() << "regenerated " << golden_path;
+    }
+
+    std::ifstream in(golden_path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << golden_path
+                    << " (regenerate with VRSIM_REGEN_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(os.str(), want.str())
+        << "trace schema bytes changed; if intentional, bump "
+           "TRACE_SCHEMA_VERSION, re-run with VRSIM_REGEN_GOLDEN=1 "
+           "and update docs/observability.md";
+}
+
+TEST(TraceSinkTest, EscapesDisassemblyAndMetaStrings)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    sink.inst(0, 1, "weird \"op\"\nname", 1, 1, 1, 1, 2, false, false,
+              1);
+    JsonValue v = JsonValue::parse("inst",
+                                   lines(os.str()).at(0));
+    EXPECT_EQ(v.at("op").asString(), "weird \"op\"\nname");
+}
+
+} // namespace
+} // namespace vrsim

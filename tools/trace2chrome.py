@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Convert a vrsim NDJSON event trace to Chrome's tracing format.
+
+Input is the file written by `vrsim --trace EVENTS:FILE` (one JSON
+object per line; schema in docs/observability.md). Output is a Chrome
+"JSON Array Format" trace loadable in chrome://tracing, Perfetto
+(ui.perfetto.dev) or speedscope.
+
+Two modes:
+
+  events (default)
+      Everything in the trace, one timeline row ("thread") per event
+      class:
+        * pipeline  — one duration slice per retired instruction,
+                      dispatch..commit, labelled with the disassembly;
+                      ROB occupancy as a counter track
+        * mem       — instant events at each access's issue cycle,
+                      named by hit level; L1D MSHR occupancy counter
+        * runahead  — duration slices between enter/exit episode
+                      markers, labelled engine/kind, with lane and
+                      prefetch counts attached
+        * lanes     — instant events per vector issue group
+
+  intervals (--mode intervals)
+      A compact episode timeline: only the runahead enter/exit slices
+      and the ROB-occupancy counter, for eyeballing when each engine
+      was active and what triggered it. Useful on long traces where
+      per-instruction slices are too dense to render.
+
+Simulated cycles are mapped 1:1 to microseconds (Chrome's `ts` unit),
+so "1 us" in the viewer is one core cycle.
+
+Usage:
+  tools/trace2chrome.py TRACE.ndjson [-o OUT.json] [--mode MODE]
+"""
+
+import argparse
+import json
+import sys
+
+# Fixed pid/tid layout: one process for the simulated machine, one
+# thread row per event class (sorted by tid in the viewer).
+PID = 1
+TID_PIPELINE = 1
+TID_MEM = 2
+TID_RUNAHEAD = 3
+TID_LANES = 4
+
+THREAD_NAMES = {
+    TID_PIPELINE: "pipeline (retired instructions)",
+    TID_MEM: "memory accesses",
+    TID_RUNAHEAD: "runahead episodes",
+    TID_LANES: "vector lane groups",
+}
+
+
+def thread_metadata(tids):
+    for tid in sorted(tids):
+        yield {
+            "ph": "M",
+            "pid": PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": THREAD_NAMES[tid]},
+        }
+
+
+def counter(name, cycle, value):
+    return {
+        "ph": "C",
+        "pid": PID,
+        "name": name,
+        "ts": cycle,
+        "args": {name: value},
+    }
+
+
+def convert(lines, mode):
+    """Yield Chrome trace events for the NDJSON lines of one trace."""
+    tids_seen = set()
+    open_episodes = []  # stack of pending runahead "enter" events
+    events = []
+
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"line {lineno}: not valid JSON: {e}")
+        kind = ev.get("ev")
+        if kind is None:
+            raise SystemExit(f"line {lineno}: missing 'ev' field")
+
+        if kind == "meta":
+            # Run boundary: record it as process metadata so the
+            # viewer's process row names the workload/technique.
+            events.append({
+                "ph": "M",
+                "pid": PID,
+                "name": "process_name",
+                "args": {"name": "{}  [{}]  {}".format(
+                    ev.get("workload", "?"), ev.get("technique", "?"),
+                    ev.get("point", ""))},
+            })
+            if ev.get("version") != 1:
+                print(f"warning: line {lineno}: schema version "
+                      f"{ev.get('version')} (converter expects 1)",
+                      file=sys.stderr)
+
+        elif kind == "inst":
+            if mode == "intervals":
+                events.append(counter("rob_occupancy", ev["cyc"],
+                                      ev["rob"]))
+                continue
+            tids_seen.add(TID_PIPELINE)
+            start = ev["disp"]
+            dur = max(1, ev["cyc"] - start)
+            events.append({
+                "ph": "X",
+                "pid": PID,
+                "tid": TID_PIPELINE,
+                "name": ev.get("op", "inst"),
+                "cat": "pipeline",
+                "ts": start,
+                "dur": dur,
+                "args": {
+                    "index": ev["i"],
+                    "pc": ev["pc"],
+                    "ready": ev["ready"],
+                    "issue": ev["iss"],
+                    "complete": ev["comp"],
+                    "commit": ev["cyc"],
+                    "load": bool(ev["load"]),
+                    "mispredicted": bool(ev["misp"]),
+                },
+            })
+            events.append(counter("rob_occupancy", ev["cyc"],
+                                  ev["rob"]))
+
+        elif kind == "mem":
+            if mode == "intervals":
+                continue
+            tids_seen.add(TID_MEM)
+            events.append({
+                "ph": "i",
+                "pid": PID,
+                "tid": TID_MEM,
+                "name": "{} {}".format(ev["req"], ev["lvl"]),
+                "cat": "mem",
+                "ts": ev["cyc"],
+                "s": "t",
+                "args": {
+                    "addr": hex(ev["addr"]),
+                    "pc": ev["pc"],
+                    "latency": ev["lat"],
+                    "store": bool(ev["store"]),
+                    "mshr_stalled": bool(ev["mshr_stall"]),
+                },
+            })
+            events.append(counter("l1d_mshrs_busy", ev["cyc"],
+                                  ev["mshr"]))
+
+        elif kind == "runahead":
+            tids_seen.add(TID_RUNAHEAD)
+            if ev["phase"] == "enter":
+                open_episodes.append(ev)
+            elif ev["phase"] == "exit":
+                if not open_episodes:
+                    print(f"warning: line {lineno}: runahead exit "
+                          "without matching enter; skipped",
+                          file=sys.stderr)
+                    continue
+                enter = open_episodes.pop()
+                start = enter["cyc"]
+                events.append({
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": TID_RUNAHEAD,
+                    "name": "{} ({})".format(ev["engine"], ev["kind"]),
+                    "cat": "runahead",
+                    "ts": start,
+                    "dur": max(1, ev["cyc"] - start),
+                    "args": {
+                        "trigger_pc": enter["trigger_pc"],
+                        "lanes": ev["lanes"],
+                        "prefetches": ev["pf"],
+                    },
+                })
+            else:
+                raise SystemExit(f"line {lineno}: unknown runahead "
+                                 f"phase '{ev['phase']}'")
+
+        elif kind == "lane":
+            if mode == "intervals":
+                continue
+            tids_seen.add(TID_LANES)
+            events.append({
+                "ph": "i",
+                "pid": PID,
+                "tid": TID_LANES,
+                "name": "issue x{}".format(ev["active"]),
+                "cat": "lanes",
+                "ts": ev["cyc"],
+                "s": "t",
+                "args": {"pc": ev["pc"], "prefetches": ev["pf"]},
+            })
+
+        else:
+            raise SystemExit(f"line {lineno}: unknown event kind "
+                             f"'{kind}'")
+
+    for enter in open_episodes:
+        print("warning: runahead enter at cycle "
+              f"{enter['cyc']} never exited; dropped", file=sys.stderr)
+
+    return list(thread_metadata(tids_seen)) + events
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Convert a vrsim NDJSON trace to Chrome tracing "
+                    "format (chrome://tracing / Perfetto).")
+    ap.add_argument("trace", help="NDJSON trace from vrsim --trace")
+    ap.add_argument("-o", "--output", default=None,
+                    help="output file (default: TRACE.chrome.json)")
+    ap.add_argument("--mode", choices=("events", "intervals"),
+                    default="events",
+                    help="events: everything; intervals: runahead "
+                         "episodes + ROB occupancy only")
+    args = ap.parse_args()
+
+    out_path = args.output or args.trace + ".chrome.json"
+    with open(args.trace) as f:
+        events = convert(f, args.mode)
+    with open(out_path, "w") as f:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, f)
+        f.write("\n")
+    print(f"{out_path}: {len(events)} Chrome trace events "
+          f"({args.mode} mode)")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,16 @@
  *                         (default 8192)
  *     --repro-dir DIR     write a crash-repro bundle for every failed
  *                         run into DIR
+ *     --trace EVENTS:FILE cycle-level NDJSON event trace; EVENTS is a
+ *                         comma list of pipeline,mem,runahead,lanes or
+ *                         all (a bare FILE traces everything); forces
+ *                         --jobs 1; convert with tools/trace2chrome.py
+ *     --stats-json FILE   dump the full stats registry per plan point
+ *                         as a JSON array (docs/observability.md)
+ *     --profile           add host.seconds / host.minsts_per_sec
+ *                         columns to CSV/JSON output (also
+ *                         VRSIM_PROFILE=1); host timing is
+ *                         nondeterministic, hence opt-in
  *     --replay BUNDLE     re-run the exact point a repro bundle
  *                         describes and exit with its status's code
  *     --checkpoint FILE   journal completed sweep points to FILE
@@ -46,6 +56,10 @@
  *     --format FMT        table (default) | csv | json
  *     --csv               alias for --format csv
  *     --list              list available workload specs
+ *     --help              print usage and exit 0
+ *
+ * Every run ends with a one-line self-profile on stderr (simulated
+ * Minsts per host second, per-phase wall time; obs/self_profile.hh).
  *
  * Exit codes (see docs/robustness.md):
  *   0 success; 1 fatal (bad configuration / failed runs under
@@ -54,11 +68,15 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "driver/report.hh"
 #include "driver/repro.hh"
 #include "driver/sweep_runner.hh"
+#include "obs/self_profile.hh"
+#include "obs/trace.hh"
 #include "sim/parse.hh"
 
 using namespace vrsim;
@@ -152,10 +170,10 @@ replayBundle(const std::string &path)
     return exitCodeFor(r);
 }
 
-[[noreturn]] void
-usage()
+void
+printUsage(std::ostream &os)
 {
-    std::cerr <<
+    os <<
         "usage: vrsim [--workload SPEC] [--technique NAME]\n"
         "             [--all-techniques] [--jobs N] [--roi N]\n"
         "             [--warmup N] [--rob N] [--mshrs N] [--lanes N]\n"
@@ -163,9 +181,17 @@ usage()
         "             [--watchdog-cycles N] [--keep-going]\n"
         "             [--inject-fail NAME[:KIND]] [--check-digests]\n"
         "             [--digest-interval N] [--repro-dir DIR]\n"
-        "             [--replay BUNDLE] [--checkpoint FILE]\n"
-        "             [--resume] [--paper-caches]\n"
-        "             [--format table|csv|json] [--csv] [--list]\n";
+        "             [--trace EVENTS:FILE] [--stats-json FILE]\n"
+        "             [--profile] [--replay BUNDLE]\n"
+        "             [--checkpoint FILE] [--resume] [--paper-caches]\n"
+        "             [--format table|csv|json] [--csv] [--list]\n"
+        "             [--help]\n";
+}
+
+[[noreturn]] void
+usage()
+{
+    printUsage(std::cerr);
     std::exit(EXIT_USAGE);
 }
 
@@ -178,6 +204,8 @@ main(int argc, char **argv)
     std::string tech = "dvr";
     std::string inject_fail;
     std::string replay_path;
+    std::string trace_spec;
+    std::string stats_json_path;
     bool all_techniques = false;
     bool keep_going = false;
     bool paper_caches = false;
@@ -209,6 +237,9 @@ main(int argc, char **argv)
             else if (a == "--digest-interval")
                 cfg.digest_interval = parseU64(a, need(i));
             else if (a == "--repro-dir") opts.repro_dir = need(i);
+            else if (a == "--trace") trace_spec = need(i);
+            else if (a == "--stats-json") stats_json_path = need(i);
+            else if (a == "--profile") setProfileColumns(true);
             else if (a == "--replay") replay_path = need(i);
             else if (a == "--checkpoint") opts.checkpoint = need(i);
             else if (a == "--resume") opts.resume = true;
@@ -243,6 +274,9 @@ main(int argc, char **argv)
                 for (const auto &n : hpcDbNames())
                     std::cout << n << "\n";
                 std::cout << "camel-swpf\n";
+                return 0;
+            } else if (a == "--help") {
+                printUsage(std::cout);
                 return 0;
             } else {
                 usage();
@@ -288,10 +322,46 @@ main(int argc, char **argv)
             plan.injectFail(parseTechnique(name), kind);
         }
 
+        // The trace stream and sink outlive the sweep; the sink only
+        // borrows the stream (obs/trace.hh).
+        std::ofstream trace_os;
+        std::optional<TraceSink> trace_sink;
+        if (!trace_spec.empty()) {
+            uint32_t mask = TRACE_ALL;
+            std::string path;
+            TraceSink::parseSpec(trace_spec, mask, path);
+            trace_os.open(path, std::ios::trunc);
+            if (!trace_os)
+                fatal("cannot write trace file '" + path + "'");
+            trace_sink.emplace(trace_os, mask);
+            opts.trace = &*trace_sink;
+        }
+
         opts.jobs = unsigned(jobs);
         opts.progress = all_techniques && format == Format::Table;
         opts.check_digests = check_digests;
         ResultTable table = SweepRunner(opts).run(plan);
+
+        if (trace_sink) {
+            trace_os.flush();
+            inform("trace: " +
+                   std::to_string(trace_sink->eventsEmitted()) +
+                   " events written (convert with "
+                   "tools/trace2chrome.py)");
+        }
+
+        if (!stats_json_path.empty()) {
+            std::ofstream sj(stats_json_path, std::ios::trunc);
+            if (!sj)
+                fatal("cannot write stats-json file '" +
+                      stats_json_path + "'");
+            writeStatsJson(sj, table);
+        }
+
+        // Time the rendering below as the "report" phase; reset()
+        // before the summary so its seconds are included.
+        std::optional<SelfProfiler::PhaseTimer> report_timer(
+            SelfProfiler::process().phase("report"));
 
         // Without --keep-going, the first failure ends the program
         // with the same exit codes an unguarded run would have had.
@@ -339,6 +409,9 @@ main(int argc, char **argv)
         } else {
             printReport(std::cout, table.results().back(), cfg);
         }
+
+        report_timer.reset();
+        inform(SelfProfiler::process().summary());
 
         if (size_t failures = table.failures()) {
             std::cerr << "warn: " << failures << " of " << table.size()
