@@ -106,7 +106,16 @@ struct BenchEnv
         if (const char *file = std::getenv("VRSIM_CHECKPOINT"))
             opts.checkpoint = file;
         opts.resume = envU64("VRSIM_RESUME", 0) != 0;
+        opts.cell_timeout_ms =
+            envU64("VRSIM_CELL_TIMEOUT", 0) * 1000;
+        opts.retries = unsigned(envU64("VRSIM_RETRIES", 0));
         try {
+            // Process isolation for long campaigns: VRSIM_ISOLATION=
+            // thread|process, per-cell deadline in seconds, retries.
+            // Parsed inside the guard: a typo'd mode must exit(1)
+            // like every other bad knob, not abort the binary.
+            if (const char *iso = std::getenv("VRSIM_ISOLATION"))
+                opts.isolation = isolationFromName(iso);
             return SweepRunner(opts).run(p);
         } catch (const FatalError &e) {
             std::cerr << e.what() << "\n";

@@ -75,6 +75,65 @@ if [ "$rc" -ne 70 ]; then
 fi
 echo "replay smoke: bundle reproduced the divergence (exit 70)"
 
+echo "=== chaos stage (ASan build, process isolation) ==="
+# Process-isolated sweep with random process-grade fault injection:
+# the parent must survive every fault class (exit 0 or 1, never a
+# signal death) and still deliver a row for every cell. No --cell-mem-mb
+# here: RLIMIT_AS is incompatible with ASan's shadow reservation.
+CHAOS_CSV="$(mktemp)"
+trap 'rm -rf "$REPRO_DIR" "$CHAOS_CSV"' EXIT
+rc=0
+VRSIM_JOBS=2 build-ci-asan/tools/vrsim \
+    --workload camel --all-techniques --keep-going \
+    --isolation process --chaos 35:0.3 --retries 2 --backoff-ms 1 \
+    --cell-timeout 5 \
+    --roi 6000 --warmup 500 --nodes 2048 --degree 8 --elems 2048 \
+    --format csv >"$CHAOS_CSV" 2>/dev/null || rc=$?
+if [ "$rc" -gt 1 ]; then
+    echo "chaos stage: parent exited $rc (expected 0 or 1)" >&2
+    exit 1
+fi
+rows="$(($(wc -l <"$CHAOS_CSV") - 1))"
+if [ "$rows" -ne 8 ]; then
+    echo "chaos stage: table has $rows rows, expected 8 (one per" \
+        "technique; a lost cell means the parent dropped a death)" >&2
+    exit 1
+fi
+echo "chaos stage: parent survived, all 8 cells accounted for (ASan)"
+
+echo "=== throughput baseline (plain build, self-profiler) ==="
+# Publish the host-side simulation throughput the plain build achieves
+# (PR 4 self-profiler host.* columns) as BENCH_throughput.json, so
+# performance regressions show up in CI diffs.
+THRU_DIR="$(mktemp -d)"
+trap 'rm -rf "$REPRO_DIR" "$CHAOS_CSV" "$THRU_DIR"' EXIT
+VRSIM_JOBS=2 build-ci/tools/vrsim \
+    --workload camel --all-techniques --profile \
+    --stats-json "$THRU_DIR/stats.json" \
+    --roi 20000 --warmup 2000 --nodes 4096 --degree 8 --elems 4096 \
+    --format csv >/dev/null 2>&1
+python3 - "$THRU_DIR/stats.json" BENCH_throughput.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+points = {}
+for ent in doc:
+    stats = ent.get("stats", {})
+    if "host.seconds" not in stats:
+        continue
+    points[ent["point"]] = {
+        "host_seconds": stats["host.seconds"],
+        "minsts_per_sec": stats["host.minsts_per_sec"],
+    }
+assert points, "no host.* columns in --profile --stats-json output"
+out = {
+    "bench": "vrsim throughput (camel, all techniques)",
+    "unit": "simulated Minsts per host second",
+    "points": points,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2, sort_keys=True)
+print(f"throughput baseline: {len(points)} points ->", sys.argv[2])
+EOF
+
 echo "=== docs & observability stage ==="
 # README/--help parity: every --flag the CLI's help lists must be
 # documented in the README, and vice versa (drift guard).

@@ -1,6 +1,7 @@
 #include "driver/plan.hh"
 
 #include "driver/report.hh"
+#include "sim/parse.hh"
 
 namespace vrsim
 {
@@ -14,6 +15,11 @@ injectKindName(InjectKind k)
       case InjectKind::Panic: return "panic";
       case InjectKind::Hang: return "hang";
       case InjectKind::Diverge: return "diverge";
+      case InjectKind::Segv: return "segv";
+      case InjectKind::Oom: return "oom";
+      case InjectKind::Spin: return "spin";
+      case InjectKind::ExitCode: return "exit";
+      case InjectKind::KillSelf: return "killself";
     }
     panic("unknown InjectKind");
 }
@@ -22,8 +28,11 @@ InjectKind
 injectKindFromName(const std::string &name)
 {
     static const InjectKind all[] = {
-        InjectKind::Fatal, InjectKind::Panic, InjectKind::Hang,
-        InjectKind::Diverge,
+        InjectKind::Fatal,    InjectKind::Panic,
+        InjectKind::Hang,     InjectKind::Diverge,
+        InjectKind::Segv,     InjectKind::Oom,
+        InjectKind::Spin,     InjectKind::ExitCode,
+        InjectKind::KillSelf,
     };
     std::string valid;
     for (InjectKind k : all) {
@@ -34,6 +43,49 @@ injectKindFromName(const std::string &name)
         valid += injectKindName(k);
     }
     fatal("unknown failure kind '" + name + "' (valid: " + valid + ")");
+}
+
+InjectKind
+injectKindParse(const std::string &spec, uint32_t &arg)
+{
+    arg = 0;
+    size_t colon = spec.find(':');
+    InjectKind kind = injectKindFromName(spec.substr(0, colon));
+    bool takes_arg =
+        kind == InjectKind::ExitCode || kind == InjectKind::KillSelf;
+    if (colon == std::string::npos) {
+        if (takes_arg)
+            fatal("failure kind '" + spec + "' needs an argument (" +
+                  std::string(injectKindName(kind)) + ":N)");
+        return kind;
+    }
+    if (!takes_arg)
+        fatal("failure kind '" + std::string(injectKindName(kind)) +
+              "' takes no argument (got '" + spec + "')");
+    arg = parseU32("--inject-fail " + std::string(injectKindName(kind)),
+                   spec.substr(colon + 1).c_str());
+    if (kind == InjectKind::ExitCode && arg > 255)
+        fatal("exit:N exit code must be 0..255, got " +
+              std::to_string(arg));
+    if (kind == InjectKind::KillSelf && (arg == 0 || arg > 64))
+        fatal("killself:SIG signal must be 1..64, got " +
+              std::to_string(arg));
+    return kind;
+}
+
+bool
+injectKindIsProcessGrade(InjectKind k)
+{
+    switch (k) {
+      case InjectKind::Segv:
+      case InjectKind::Oom:
+      case InjectKind::Spin:
+      case InjectKind::ExitCode:
+      case InjectKind::KillSelf:
+        return true;
+      default:
+        return false;
+    }
 }
 
 std::string
@@ -81,8 +133,10 @@ RunPlan::points() const
                     p.warmup = warmup_;
                     p.inject_fail =
                         inject_fail_ && *inject_fail_ == col.tech;
-                    if (p.inject_fail)
+                    if (p.inject_fail) {
                         p.inject_kind = inject_kind_;
+                        p.inject_arg = inject_arg_;
+                    }
                     pts.push_back(std::move(p));
                 }
             }

@@ -66,6 +66,16 @@ enum class InjectKind : uint8_t
     Panic,
     Hang,
     Diverge,
+    // Process-grade kinds (the chaos harness): these kill or wedge the
+    // whole process instead of raising a guarded exception, so they
+    // only make sense under --isolation process, where the child dies
+    // and the supervising parent records the death. Under thread
+    // isolation they are rejected with fatal().
+    Segv,      //!< dereference null: die by SIGSEGV
+    Oom,       //!< allocate until the RLIMIT_AS cap (or a self-bound)
+    Spin,      //!< infinite loop: die by deadline / RLIMIT_CPU
+    ExitCode,  //!< _exit(arg) without writing a result
+    KillSelf,  //!< raise(arg): die by an arbitrary signal
 };
 
 /** Printable inject-kind name ("fatal", "panic", ...). */
@@ -73,6 +83,18 @@ const char *injectKindName(InjectKind k);
 
 /** Parse an inject kind; fatal() on unknown names. */
 InjectKind injectKindFromName(const std::string &name);
+
+/**
+ * Parse an inject-kind spec with an optional argument: "exit:3" and
+ * "killself:9" carry one, the other kinds are bare names. fatal() on
+ * unknown names, a missing/malformed argument, or an argument given
+ * to a kind that takes none.
+ */
+InjectKind injectKindParse(const std::string &spec, uint32_t &arg);
+
+/** Does this kind kill/wedge the process rather than raise a guarded
+ *  exception? Such kinds require --isolation process. */
+bool injectKindIsProcessGrade(InjectKind k);
 
 /** One fully resolved grid point of a plan. */
 struct RunPoint
@@ -89,6 +111,7 @@ struct RunPoint
     uint64_t warmup = 0;
     bool inject_fail = false;  //!< raise inject_kind instead of running
     InjectKind inject_kind = InjectKind::None;
+    uint32_t inject_arg = 0;   //!< exit code / signal for exit, killself
 
     /** Stable point ID: "spec:column" or "spec:column:variant". */
     std::string id() const;
@@ -155,10 +178,12 @@ class RunPlan
      * produces its repro bundle and exit code).
      */
     RunPlan &
-    injectFail(Technique t, InjectKind kind = InjectKind::Panic)
+    injectFail(Technique t, InjectKind kind = InjectKind::Panic,
+               uint32_t arg = 0)
     {
         inject_fail_ = t;
         inject_kind_ = kind;
+        inject_arg_ = arg;
         return *this;
     }
 
@@ -187,6 +212,7 @@ class RunPlan
     uint64_t warmup_ = 0;
     std::optional<Technique> inject_fail_;
     InjectKind inject_kind_ = InjectKind::Panic;
+    uint32_t inject_arg_ = 0;
     std::vector<Grid> grids_;
 };
 

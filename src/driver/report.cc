@@ -263,8 +263,12 @@ printJson(std::ostream &os, const std::vector<SimResult> &results)
 }
 
 void
-writeStatsJson(std::ostream &os, const ResultTable &table)
+writeStatsJson(std::ostream &os, const ResultTable &table,
+               const StatsRegistry *sweep)
 {
+    // An empty sweep registry (thread-mode sweeps) is treated as
+    // absent so existing output stays byte-identical.
+    const bool with_sweep = sweep && sweep->size() > 0;
     auto prec = os.precision(15);
     os << "[\n";
     for (size_t i = 0; i < table.size(); i++) {
@@ -280,7 +284,17 @@ writeStatsJson(std::ostream &os, const ResultTable &table)
            << "\",\n";
         os << "    \"stats\": ";
         buildRegistry(r).dumpJson(os);
-        os << "\n  }" << (i + 1 < table.size() ? "," : "") << "\n";
+        os << "\n  }"
+           << (i + 1 < table.size() || with_sweep ? "," : "") << "\n";
+    }
+    if (with_sweep) {
+        // Trailing element: sweep-level execution telemetry
+        // (sweep.cells.*, sweep.backoff_ms) from process isolation.
+        os << "  {\n";
+        os << "    \"point\": \"<sweep>\",\n";
+        os << "    \"stats\": ";
+        sweep->dumpJson(os);
+        os << "\n  }\n";
     }
     os << "]\n";
     os.precision(prec);

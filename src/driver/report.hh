@@ -79,8 +79,12 @@ void printJson(std::ostream &os, const std::vector<SimResult> &results);
  * array with one object per point — id, workload, technique, status
  * and the full registry rendered by StatsRegistry::dumpJson, in plan
  * order. Parseable by sim/parse.hh's strict JsonValue reader.
+ * When @p sweep is non-null and non-empty (process-isolation sweeps),
+ * a trailing `"point": "<sweep>"` object carries the sweep-level
+ * execution telemetry.
  */
-void writeStatsJson(std::ostream &os, const ResultTable &table);
+void writeStatsJson(std::ostream &os, const ResultTable &table,
+                    const StatsRegistry *sweep = nullptr);
 
 } // namespace vrsim
 

@@ -513,6 +513,12 @@ resultToJsonBody(const SimResult &r)
         .field("core", coreStatsToJson(r.core))
         .field("mem", memStatsToJson(r.mem))
         .field("mlp", f64(r.mlp));
+    // Process-isolation fields: written only when set so journals and
+    // bundles from thread-mode sweeps stay byte-identical to before.
+    if (r.term_signal)
+        o.field("term_signal", u64(uint64_t(r.term_signal)));
+    if (r.rss_peak_kb)
+        o.field("rss_peak_kb", u64(r.rss_peak_kb));
     if (r.pre)
         o.field("pre", preStatsToJson(*r.pre));
     if (r.vr)
@@ -535,6 +541,10 @@ resultFromJsonValue(const JsonValue &v)
     r.core = coreStatsFromJson(v.at("core"));
     r.mem = memStatsFromJson(v.at("mem"));
     r.mlp = v.at("mlp").asF64();
+    if (const JsonValue *p = v.find("term_signal"))
+        r.term_signal = int(p->asU64());
+    if (const JsonValue *p = v.find("rss_peak_kb"))
+        r.rss_peak_kb = p->asU64();
     if (const JsonValue *p = v.find("pre"))
         r.pre = preStatsFromJson(*p);
     if (const JsonValue *p = v.find("vr"))
@@ -573,8 +583,11 @@ pointToJsonBody(const RunPoint &p)
         .field("max_insts", u64(p.max_insts))
         .field("warmup", u64(p.warmup))
         .field("inject_fail", boolean(p.inject_fail));
-    if (p.inject_fail)
+    if (p.inject_fail) {
         o.field("inject_kind", str(injectKindName(p.inject_kind)));
+        if (p.inject_arg)
+            o.field("inject_arg", u64(p.inject_arg));
+    }
     return o.done();
 }
 
@@ -607,6 +620,8 @@ pointFromJsonValue(const JsonValue &v)
     p.inject_kind = p.inject_fail
         ? injectKindFromName(v.at("inject_kind").asString())
         : InjectKind::None;
+    if (const JsonValue *a = v.find("inject_arg"))
+        p.inject_arg = uint32_t(a->asU64());
     return p;
 }
 
@@ -641,8 +656,10 @@ SimStatus
 simStatusFromName(const std::string &name)
 {
     static const SimStatus all[] = {
-        SimStatus::Ok, SimStatus::Fatal, SimStatus::Panic,
-        SimStatus::Hang, SimStatus::Diverged,
+        SimStatus::Ok,       SimStatus::Fatal,
+        SimStatus::Panic,    SimStatus::Hang,
+        SimStatus::Diverged, SimStatus::Crashed,
+        SimStatus::TimedOut,
     };
     for (SimStatus s : all)
         if (simStatusName(s) == name)

@@ -19,6 +19,26 @@ simStatusName(SimStatus s)
       case SimStatus::Panic: return "panic";
       case SimStatus::Hang: return "hang";
       case SimStatus::Diverged: return "diverged";
+      case SimStatus::Crashed: return "crashed";
+      case SimStatus::TimedOut: return "timedout";
+    }
+    panic("unknown SimStatus");
+}
+
+int
+exitCodeForStatus(SimStatus status, int term_signal)
+{
+    switch (status) {
+      case SimStatus::Ok: return 0;
+      case SimStatus::Fatal: return 1;
+      case SimStatus::Panic:
+      case SimStatus::Hang:
+      case SimStatus::Diverged: return 70;  // sysexits EX_SOFTWARE
+      case SimStatus::TimedOut: return 124; // coreutils `timeout`
+      case SimStatus::Crashed:
+        // Shell convention: death by signal N surfaces as 128+N, so
+        // a SIGSEGV (139) can never alias a taxonomy code above.
+        return term_signal > 0 ? 128 + term_signal : 1;
     }
     panic("unknown SimStatus");
 }

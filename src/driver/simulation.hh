@@ -36,10 +36,24 @@ enum class SimStatus : uint8_t
     Panic,    //!< internal invariant violation (PanicError)
     Hang,     //!< forward-progress watchdog expired (HangError)
     Diverged, //!< committed-state digest differs from the baseline's
+    Crashed,  //!< child process died (signal / rlimit / bare exit);
+              //!< only produced under --isolation process
+    TimedOut, //!< child exceeded its wall-clock deadline and was
+              //!< SIGKILLed; only produced under --isolation process
 };
 
 /** Lower-case status name as rendered in reports and CSV. */
 const char *simStatusName(SimStatus s);
+
+/**
+ * Process exit code for a run that ended with @p status (the
+ * docs/robustness.md table): 0 ok, 1 fatal, 70 panic/hang/diverged,
+ * 124 timed out (the coreutils `timeout` convention), and 128+signo
+ * for a crash by signal @p term_signal (1 when the terminating
+ * signal is unknown) — so a SIGSEGV death can never alias a taxonomy
+ * code like 70.
+ */
+int exitCodeForStatus(SimStatus status, int term_signal = 0);
 
 /** Uniform result record of one simulation run. */
 struct SimResult
@@ -54,6 +68,10 @@ struct SimResult
     double host_seconds = 0.0; //!< host wall time of the core run
                                //!< (self-profiling; never part of the
                                //!< default report output)
+    int term_signal = 0;       //!< terminating signal (Crashed cells
+                               //!< under --isolation process; else 0)
+    uint64_t rss_peak_kb = 0;  //!< child peak RSS in KiB (process
+                               //!< isolation only; else 0)
 
     /** Did the run complete (statistics below are meaningful)? */
     bool ok() const { return status == SimStatus::Ok; }

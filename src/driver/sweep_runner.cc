@@ -10,6 +10,7 @@
 
 #include "driver/repro.hh"
 #include "obs/trace.hh"
+#include "rt/cell_supervisor.hh"
 #include "sim/parse.hh"
 
 namespace vrsim
@@ -32,6 +33,27 @@ baselineKey(const RunPoint &p)
 }
 
 } // namespace
+
+const char *
+isolationName(Isolation i)
+{
+    switch (i) {
+      case Isolation::Thread: return "thread";
+      case Isolation::Process: return "process";
+    }
+    panic("unknown Isolation");
+}
+
+Isolation
+isolationFromName(const std::string &name)
+{
+    if (name == "thread")
+        return Isolation::Thread;
+    if (name == "process")
+        return Isolation::Process;
+    fatal("unknown isolation mode '" + name +
+          "' (valid: thread, process)");
+}
 
 unsigned
 SweepRunner::jobsFromEnv(unsigned dflt)
@@ -66,6 +88,17 @@ SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache,
               }
               case InjectKind::Diverge:
                 break;   // run for real below, then poison the digest
+              case InjectKind::Segv:
+              case InjectKind::Oom:
+              case InjectKind::Spin:
+              case InjectKind::ExitCode:
+              case InjectKind::KillSelf:
+                // Executing these here would kill/wedge the calling
+                // process — only a supervised child may run them
+                // (rt/cell_supervisor.hh).
+                fatal("process-grade fault injection (" +
+                      std::string(injectKindName(p.inject_kind)) +
+                      ") requires --isolation process");
               case InjectKind::None:
               case InjectKind::Panic:
                 panic(inject_msg);
@@ -102,6 +135,29 @@ SweepRunner::run(const RunPlan &plan)
     std::vector<char> have(points.size(), 0);
     WorkloadCache &cache =
         opts_.cache ? *opts_.cache : WorkloadCache::process();
+
+    // Resolve the effective isolation mode. Tracing is an in-process
+    // shared stream, so a traced sweep falls back to thread isolation;
+    // chaos and process-grade inject kinds *require* the process
+    // backend (executing them in a worker thread would kill the whole
+    // sweep — the exact failure isolation exists to prevent).
+    Isolation isolation = opts_.isolation;
+    if (opts_.trace && isolation == Isolation::Process) {
+        warn("tracing is in-process (one shared event stream); "
+             "falling back to --isolation thread");
+        isolation = Isolation::Thread;
+    }
+    if (opts_.chaos.enabled() && isolation != Isolation::Process)
+        fatal("--chaos requires --isolation process");
+    if (isolation != Isolation::Process) {
+        for (const RunPoint &p : points)
+            if (p.inject_fail &&
+                injectKindIsProcessGrade(p.inject_kind))
+                fatal("point " + p.id() + " injects a process-grade "
+                      "fault (" +
+                      std::string(injectKindName(p.inject_kind)) +
+                      "); requires --isolation process");
+    }
 
     // Differential checking collects a digest on every point and
     // needs an OoO baseline cell per (spec, variant).
@@ -171,6 +227,47 @@ SweepRunner::run(const RunPlan &plan)
         jobs = 1;
     }
 
+    // Fork safety for process mode: build every workload artifact in
+    // the parent before the pool starts, so the cache's mutex and
+    // builder futures are quiescent at every fork (children only ever
+    // hit warm cache entries). A build failure is deliberately left
+    // for the child to re-encounter and report as its own Fatal row,
+    // matching thread-mode attribution.
+    if (isolation == Isolation::Process) {
+        std::map<std::string, char> built;
+        for (size_t i = 0; i < points.size(); i++) {
+            if (have[i])
+                continue;
+            const RunPoint &p = points[i];
+            if (!built.emplace(WorkloadCache::key(p.spec, p.gscale,
+                                                  p.hscale), 1)
+                     .second)
+                continue;
+            try {
+                cache.artifact(p.spec, p.gscale, p.hscale);
+            } catch (const FatalError &) {
+                // The child's own build attempt produces the row.
+            }
+        }
+    }
+
+    CellOptions cell_opts;
+    cell_opts.timeout_ms = opts_.cell_timeout_ms;
+    cell_opts.mem_mb = opts_.cell_mem_mb;
+    cell_opts.cpu_s = opts_.cell_cpu_s;
+    cell_opts.retries = opts_.retries;
+    cell_opts.backoff_ms = opts_.backoff_ms;
+    cell_opts.chaos = opts_.chaos;
+    cell_opts.inject_attempts = opts_.inject_attempts;
+
+    // What each cell actually executed (chaos may mutate a point);
+    // repro bundles record this so --replay reproduces the fault.
+    std::vector<RunPoint> as_run = points;
+    std::atomic<uint64_t> cells_retried{0};
+    std::atomic<uint64_t> cells_crashed{0};
+    std::atomic<uint64_t> cells_timed_out{0};
+    std::atomic<uint64_t> backoff_ms_total{0};
+
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     const bool progress = opts_.progress;
@@ -189,7 +286,22 @@ SweepRunner::run(const RunPlan &plan)
             // Tag this thread's warn()/inform() lines with the point
             // so interleaved diagnostics stay attributable.
             setLogContext(p.id());
-            SimResult r = runPoint(p, cache, opts_.trace);
+            SimResult r;
+            if (isolation == Isolation::Process) {
+                CellSupervisor sup(cell_opts, cache);
+                CellOutcome cell = sup.runCell(p);
+                r = std::move(cell.result);
+                as_run[i] = std::move(cell.as_run);
+                if (cell.retried())
+                    cells_retried.fetch_add(1);
+                backoff_ms_total.fetch_add(cell.backoff_ms_total);
+                if (r.status == SimStatus::Crashed)
+                    cells_crashed.fetch_add(1);
+                else if (r.status == SimStatus::TimedOut)
+                    cells_timed_out.fetch_add(1);
+            } else {
+                r = runPoint(p, cache, opts_.trace);
+            }
             setLogContext("");
             size_t n = done.fetch_add(1) + 1;
             if (!r.ok())
@@ -227,6 +339,25 @@ SweepRunner::run(const RunPlan &plan)
             pool.emplace_back(worker);
         for (auto &th : pool)
             th.join();
+    }
+
+    // Sweep-level telemetry (zeros included so a green sweep still
+    // shows the counters exist); thread mode leaves it empty to keep
+    // existing stats output byte-identical.
+    stats_ = StatsRegistry{};
+    if (isolation == Isolation::Process) {
+        stats_.addCounter("sweep.cells.retried",
+                          "cells that needed more than one attempt") +=
+            cells_retried.load();
+        stats_.addCounter("sweep.cells.crashed",
+                          "cells whose final attempt died by signal/"
+                          "rlimit/bare exit") += cells_crashed.load();
+        stats_.addCounter("sweep.cells.timed_out",
+                          "cells whose final attempt exceeded the "
+                          "wall-clock deadline") += cells_timed_out.load();
+        stats_.addGauge("sweep.backoff_ms",
+                        "total milliseconds spent in retry backoff") =
+            double(backoff_ms_total.load());
     }
 
     // Differential pass: compare every non-baseline cell's digest
@@ -280,7 +411,9 @@ SweepRunner::run(const RunPlan &plan)
             if (r.ok())
                 continue;
             ReproBundle b;
-            b.point = points[i];
+            // The as-executed point (chaos mutation included), so a
+            // --replay of the bundle reproduces the injected fault.
+            b.point = as_run[i];
             b.status = r.status;
             b.status_message = r.status_message;
             if (baseline_digest[i])

@@ -24,12 +24,35 @@
 #define VRSIM_DRIVER_SWEEP_RUNNER_HH
 
 #include "driver/plan.hh"
+#include "obs/stats_registry.hh"
+#include "rt/chaos.hh"
 #include "workloads/workload_cache.hh"
 
 namespace vrsim
 {
 
 class TraceSink;
+
+/**
+ * How each grid point is executed:
+ *  - Thread: in a worker thread of this process (the default; fastest,
+ *    but a SIGSEGV/OOM in any cell kills the whole sweep);
+ *  - Process: in a forked child per cell (rt/cell_supervisor.hh), so
+ *    signal deaths, runaway allocations, and wedged cells become
+ *    Crashed/TimedOut rows while the parent — and the journal — live
+ *    on. All-green sweeps produce byte-identical tables either way.
+ */
+enum class Isolation : uint8_t
+{
+    Thread,
+    Process,
+};
+
+/** Printable isolation name ("thread", "process"). */
+const char *isolationName(Isolation i);
+
+/** Parse an isolation mode; fatal() on unknown names. */
+Isolation isolationFromName(const std::string &name);
 
 /** Knobs for one sweep execution. */
 struct SweepOptions
@@ -76,6 +99,38 @@ struct SweepOptions
      * deterministic. Statistics and digests are unaffected.
      */
     TraceSink *trace = nullptr;
+
+    // ---- process isolation (--isolation process) ----
+
+    /** Execution backend; see Isolation. VRSIM_ISOLATION / --isolation. */
+    Isolation isolation = Isolation::Thread;
+
+    /** Wall-clock deadline per cell attempt in ms; 0 = none
+     *  (--cell-timeout, VRSIM_CELL_TIMEOUT in seconds). */
+    uint64_t cell_timeout_ms = 0;
+
+    /** RLIMIT_AS per cell in MiB; 0 = none (--cell-mem-mb). Do not
+     *  combine with ASan builds (rt/subprocess.hh). */
+    uint64_t cell_mem_mb = 0;
+
+    /** RLIMIT_CPU per cell in seconds; 0 = none (--cell-cpu-s). */
+    uint64_t cell_cpu_s = 0;
+
+    /** Extra attempts after a process-grade cell death (--retries,
+     *  VRSIM_RETRIES). Guarded in-taxonomy failures (fatal, panic,
+     *  hang, diverged) are never retried. */
+    unsigned retries = 0;
+
+    /** First retry delay in ms, doubling per retry (--backoff-ms). */
+    uint64_t backoff_ms = 100;
+
+    /** Chaos fault assignment (--chaos SEED:RATE); requires process
+     *  isolation. */
+    ChaosPolicy chaos;
+
+    /** Test knob: a point's own process-grade fault only fires on
+     *  attempts < inject_attempts (rt/cell_supervisor.hh). */
+    unsigned inject_attempts = ~0u;
 };
 
 class SweepRunner
@@ -110,8 +165,18 @@ class SweepRunner
      */
     static unsigned jobsFromEnv(unsigned dflt = 1);
 
+    /**
+     * Sweep-level telemetry of the last run(): sweep.cells.retried /
+     * sweep.cells.crashed / sweep.cells.timed_out counters and the
+     * sweep.backoff_ms gauge. Populated (with zeros included) only
+     * for process-isolation sweeps; empty otherwise so thread-mode
+     * stats output is unchanged.
+     */
+    const StatsRegistry &stats() const { return stats_; }
+
   private:
     SweepOptions opts_;
+    StatsRegistry stats_;
 };
 
 } // namespace vrsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic chaos harness for process-isolated sweeps: a
+ * ChaosPolicy decides, per (cell, attempt), whether to inject a
+ * process-grade fault into the child and which kind. Decisions are a
+ * pure hash of (seed, point id, attempt) — the same `--chaos
+ * SEED:RATE` spec produces the same fault assignment at any job
+ * count, so tests can recompute the policy and predict exactly which
+ * cells must end Crashed/TimedOut and which must be byte-identical to
+ * a clean run. Per-attempt draws mean a cell can fault on attempt 0
+ * and come up clean on the retry, exercising the
+ * retried-then-succeeded path naturally.
+ */
+
+#ifndef VRSIM_RT_CHAOS_HH
+#define VRSIM_RT_CHAOS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "driver/plan.hh"
+
+namespace vrsim
+{
+
+/** One fault assignment: an inject kind plus its argument (exit code
+ *  for ExitCode, signal number for KillSelf; 0 otherwise). */
+struct ChaosFault
+{
+    InjectKind kind = InjectKind::None;
+    uint32_t arg = 0;
+};
+
+/**
+ * Parsed `--chaos SEED:RATE` spec. RATE is the per-attempt injection
+ * probability in [0, 1].
+ */
+class ChaosPolicy
+{
+  public:
+    ChaosPolicy() = default;
+    ChaosPolicy(uint64_t seed, double rate);
+
+    /** Parse "SEED:RATE" (e.g. "7:0.3"); fatal() on malformed specs
+     *  or a rate outside [0, 1]. */
+    static ChaosPolicy parse(const std::string &spec);
+
+    bool enabled() const { return rate_ > 0.0; }
+    uint64_t seed() const { return seed_; }
+    double rate() const { return rate_; }
+
+    /**
+     * The fault (if any) to inject into attempt @p attempt of the
+     * cell named @p point_id. Deterministic: depends only on the
+     * policy's seed/rate and the arguments. Kinds rotate over the
+     * five process-grade classes (segv, oom, spin, exit:N,
+     * killself:SIG) so every class appears in a large enough sweep.
+     */
+    std::optional<ChaosFault> decide(const std::string &point_id,
+                                     unsigned attempt) const;
+
+  private:
+    uint64_t seed_ = 0;
+    double rate_ = 0.0;
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_RT_CHAOS_HH

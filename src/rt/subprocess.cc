@@ -1,0 +1,270 @@
+#include "rt/subprocess.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace vrsim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Best-known name for a terminating signal ("SIGSEGV"). */
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGBUS: return "SIGBUS";
+      case SIGABRT: return "SIGABRT";
+      case SIGKILL: return "SIGKILL";
+      case SIGTERM: return "SIGTERM";
+      case SIGINT: return "SIGINT";
+      case SIGXCPU: return "SIGXCPU";
+      case SIGFPE: return "SIGFPE";
+      case SIGILL: return "SIGILL";
+      case SIGPIPE: return "SIGPIPE";
+      case SIGHUP: return "SIGHUP";
+      default: return "unknown";
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Install the resource caps in the child. Failures are reported on
+ *  the (already redirected) stderr but are not fatal: an uncapped
+ *  child still runs under the parent's wall-clock deadline. */
+void
+applyCaps(const ResourceCaps &caps)
+{
+    if (caps.mem_bytes) {
+        rlimit rl{caps.mem_bytes, caps.mem_bytes};
+        if (setrlimit(RLIMIT_AS, &rl) != 0)
+            std::fprintf(stderr, "rt: setrlimit(RLIMIT_AS) failed: %s\n",
+                         std::strerror(errno));
+    }
+    if (caps.cpu_seconds) {
+        // Soft == hard: SIGXCPU at the limit (default action kills);
+        // no grace period a spinning cell could hide in.
+        rlimit rl{caps.cpu_seconds, caps.cpu_seconds};
+        if (setrlimit(RLIMIT_CPU, &rl) != 0)
+            std::fprintf(stderr, "rt: setrlimit(RLIMIT_CPU) failed: %s\n",
+                         std::strerror(errno));
+    }
+}
+
+/** Drain whatever is readable from @p fd into @p sink (capped).
+ *  Returns false on EOF/error, i.e. when the fd should be closed. */
+bool
+drain(int fd, std::string &sink, uint64_t &dropped, size_t cap)
+{
+    char buf[4096];
+    for (;;) {
+        ssize_t n = read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            size_t room = sink.size() < cap ? cap - sink.size() : 0;
+            size_t keep = std::min<size_t>(size_t(n), room);
+            sink.append(buf, keep);
+            dropped += uint64_t(n) - keep;
+            continue;
+        }
+        if (n == 0)
+            return false;                  // EOF: writer closed
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;                   // drained for now
+        if (errno == EINTR)
+            continue;
+        return false;                      // unexpected read error
+    }
+}
+
+} // namespace
+
+std::string
+ExitStatus::describe() const
+{
+    if (exited)
+        return "exit code " + std::to_string(code);
+    return "signal " + std::to_string(signal) + " (" +
+           signalName(signal) + ")";
+}
+
+bool
+Subprocess::writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+ChildOutcome
+Subprocess::run(const Body &body, const ResourceCaps &caps,
+                uint64_t deadline_ms)
+{
+    int result_pipe[2];
+    int err_pipe[2];
+    if (pipe(result_pipe) != 0)
+        fatal("rt: pipe() failed: " + std::string(std::strerror(errno)));
+    if (pipe(err_pipe) != 0)
+        fatal("rt: pipe() failed: " + std::string(std::strerror(errno)));
+
+    pid_t pid;
+    {
+        // Hold the process-wide log mutex across fork() so no sibling
+        // sweep worker is mid-logLine when the address space is
+        // duplicated; the child's single thread inherits it unlocked
+        // (we are the owner and release it on both sides).
+        std::lock_guard<std::mutex> lock(log_detail::mutex());
+        pid = fork();
+    }
+    if (pid < 0) {
+        close(result_pipe[0]);
+        close(result_pipe[1]);
+        close(err_pipe[0]);
+        close(err_pipe[1]);
+        fatal("rt: fork() failed: " + std::string(std::strerror(errno)));
+    }
+
+    if (pid == 0) {
+        // ---- child ----
+        close(result_pipe[0]);
+        close(err_pipe[0]);
+        dup2(err_pipe[1], 2);
+        if (err_pipe[1] != 2)
+            close(err_pipe[1]);
+        // Dying quietly when the parent is gone beats SIGPIPE noise.
+        signal(SIGPIPE, SIG_IGN);
+        applyCaps(caps);
+        int code = 81;   // body threw: distinct from any sane return
+        try {
+            code = body(result_pipe[1]);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rt: child body raised: %s\n", e.what());
+        } catch (...) {
+            std::fprintf(stderr, "rt: child body raised a non-standard "
+                                 "exception\n");
+        }
+        // _exit, not exit: the forked copy of the parent's stdio
+        // buffers and atexit handlers (warn summaries, gtest
+        // teardown) must not run here.
+        _exit(code);
+    }
+
+    // ---- parent ----
+    close(result_pipe[1]);
+    close(err_pipe[1]);
+    setNonBlocking(result_pipe[0]);
+    setNonBlocking(err_pipe[0]);
+
+    ChildOutcome out;
+    uint64_t result_dropped = 0;  // result lines are small; never caps
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+
+    int fds_open = 2;
+    bool open_result = true, open_err = true;
+    while (fds_open > 0) {
+        pollfd pfds[2];
+        nfds_t n = 0;
+        if (open_result)
+            pfds[n++] = {result_pipe[0], POLLIN, 0};
+        if (open_err)
+            pfds[n++] = {err_pipe[0], POLLIN, 0};
+
+        int timeout = -1;
+        if (deadline_ms && !out.timed_out) {
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - Clock::now())
+                .count();
+            timeout = left > 0 ? int(left) : 0;
+        }
+        int rv = poll(pfds, n, timeout);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            break;   // give up polling; fall through to wait below
+        }
+        if (rv > 0) {
+            for (nfds_t i = 0; i < n; i++) {
+                if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                if (pfds[i].fd == result_pipe[0]) {
+                    if (!drain(result_pipe[0], out.result_line,
+                               result_dropped, size_t(-1))) {
+                        close(result_pipe[0]);
+                        open_result = false;
+                        fds_open--;
+                    }
+                } else {
+                    if (!drain(err_pipe[0], out.stderr_text,
+                               out.stderr_dropped, kStderrCap)) {
+                        close(err_pipe[0]);
+                        open_err = false;
+                        fds_open--;
+                    }
+                }
+            }
+        }
+        if (deadline_ms && !out.timed_out && Clock::now() >= deadline) {
+            kill(pid, SIGKILL);
+            out.timed_out = true;
+        }
+    }
+    if (open_result)
+        close(result_pipe[0]);
+    if (open_err)
+        close(err_pipe[0]);
+
+    // Both pipes are at EOF, so the child has exited (or is in its
+    // final teardown); reap it and harvest peak RSS.
+    rusage ru{};
+    int status = 0;
+    pid_t reaped;
+    do {
+        reaped = wait4(pid, &status, 0, &ru);
+    } while (reaped < 0 && errno == EINTR);
+    if (reaped == pid) {
+        if (WIFEXITED(status)) {
+            out.status.exited = true;
+            out.status.code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+            out.status.exited = false;
+            out.status.signal = WTERMSIG(status);
+        }
+        out.rss_peak_kb = uint64_t(ru.ru_maxrss);  // KiB on Linux
+    }
+
+    out.protocol_ok = out.status.exited && out.status.code == 0 &&
+                      !out.result_line.empty() &&
+                      out.result_line.back() == '\n' && !out.timed_out;
+    return out;
+}
+
+} // namespace vrsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Process-level execution primitive for the runtime (rt) subsystem:
+ * fork a child, run an arbitrary body inside it under POSIX resource
+ * caps (RLIMIT_AS / RLIMIT_CPU), enforce a wall-clock deadline from
+ * the parent (SIGKILL on expiry), and transport the body's one-line
+ * result plus its stderr back through pipes. The parent decodes the
+ * waitpid status and peak RSS, so a SIGSEGV, OOM kill, runaway
+ * allocation, or infinite loop in the child is an *observation* in
+ * the parent, never a shared fate.
+ *
+ * Protocol: the child body receives a writable fd, writes exactly one
+ * newline-terminated result line to it, and returns an exit code
+ * (the child always leaves via _exit, so duplicated stdio buffers and
+ * atexit handlers of the parent never run twice). The parent reports
+ * `protocol_ok` only when a complete line arrived and the child
+ * exited 0 — anything else (signal death, rlimit kill, bare exit) is
+ * a process-grade failure the caller maps onto its own taxonomy.
+ *
+ * Fork safety: the process-wide log mutex (sim/logging.hh) is held
+ * across fork() so no sibling thread can be mid-logLine when the
+ * address space is duplicated — the child's single thread inherits a
+ * consistent, unlocked logging state. Callers must ensure any other
+ * locks they share with sibling threads (e.g. a workload cache) are
+ * quiescent at spawn time; see CellSupervisor for the prebuild
+ * discipline the sweep layer uses.
+ */
+
+#ifndef VRSIM_RT_SUBPROCESS_HH
+#define VRSIM_RT_SUBPROCESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vrsim
+{
+
+/** Resource caps installed inside the child before the body runs. */
+struct ResourceCaps
+{
+    /** RLIMIT_AS in bytes; 0 = unlimited. Note: incompatible with
+     *  AddressSanitizer builds (ASan reserves terabytes of virtual
+     *  address space up front). */
+    uint64_t mem_bytes = 0;
+
+    /** RLIMIT_CPU in seconds; 0 = unlimited. The kernel delivers
+     *  SIGXCPU at the soft limit (default action: terminate), so a
+     *  spinning child dies even without a wall-clock deadline. */
+    uint64_t cpu_seconds = 0;
+};
+
+/** Decoded waitpid(2) status of a finished child. */
+struct ExitStatus
+{
+    bool exited = false;  //!< normal exit (code below) vs. signal death
+    int code = 0;         //!< exit code when exited
+    int signal = 0;       //!< terminating signal when !exited
+
+    /** "exit code 3" / "signal 11 (SIGSEGV)". */
+    std::string describe() const;
+};
+
+/** Everything the parent learned about one child execution. */
+struct ChildOutcome
+{
+    ExitStatus status;
+
+    /** The wall-clock deadline expired and the child was SIGKILLed. */
+    bool timed_out = false;
+
+    /** A complete result line arrived and the child exited 0. */
+    bool protocol_ok = false;
+
+    /** Bytes the body wrote to its result fd (newline included). */
+    std::string result_line;
+
+    /** Child stderr, capped at kStderrCap bytes. */
+    std::string stderr_text;
+
+    /** Stderr bytes discarded beyond the cap. */
+    uint64_t stderr_dropped = 0;
+
+    /** Child peak resident set size in KiB (wait4 rusage). */
+    uint64_t rss_peak_kb = 0;
+};
+
+class Subprocess
+{
+  public:
+    /** Child stderr capture cap: a crash-looping cell cannot balloon
+     *  the parent's memory through the relay pipe. */
+    static constexpr size_t kStderrCap = 64 * 1024;
+
+    /**
+     * The child's entry point: runs with @p result_fd open for
+     * writing and fd 2 redirected into the stderr capture pipe; its
+     * return value becomes the child's exit code. Must not return
+     * control to any parent-owned frame (the wrapper _exits).
+     */
+    using Body = std::function<int(int result_fd)>;
+
+    /**
+     * Fork, run @p body in the child under @p caps, and wait for it
+     * with a wall-clock deadline of @p deadline_ms milliseconds
+     * (0 = no deadline). On expiry the child is SIGKILLed and the
+     * outcome is marked timed_out. The parent drains the result and
+     * stderr pipes while waiting, so a chatty child can never block
+     * on a full pipe. fatal() only on parent-side syscall failure
+     * (pipe/fork) — never because of anything the child did.
+     */
+    static ChildOutcome run(const Body &body, const ResourceCaps &caps,
+                            uint64_t deadline_ms);
+
+    /** Write all of @p data to @p fd, retrying on EINTR/short writes.
+     *  Returns false on error (e.g. parent died; EPIPE). */
+    static bool writeAll(int fd, const std::string &data);
+};
+
+} // namespace vrsim
+
+#endif // VRSIM_RT_SUBPROCESS_HH

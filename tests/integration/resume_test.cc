@@ -11,6 +11,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "driver/repro.hh"
 #include "driver/sweep_runner.hh"
@@ -58,9 +63,18 @@ class ResumeTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "vrsim_resume_test.jsonl";
+        // Unique per test: ctest runs discovered tests as parallel
+        // processes, and a shared journal path would let two tests
+        // stomp each other's file.
+        path_ = ::testing::TempDir() + "vrsim_resume_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".jsonl";
         std::remove(path_.c_str());
     }
+
+    void TearDown() override { std::remove(path_.c_str()); }
 
     /** Run the full plan with a journal; returns the final CSV. */
     std::string
@@ -192,6 +206,59 @@ TEST_F(ResumeTest, MissingJournalResumesFromScratch)
                              smallPlan().points().size());
     for (const auto &s : slots)
         EXPECT_TRUE(s.has_value());
+}
+
+TEST_F(ResumeTest, RealSigkillMidSweepResumesByteIdentical)
+{
+    // The journal's torn-tail tolerance against a *real* SIGKILL, not
+    // a simulated truncation: run a process-isolation sweep in a
+    // forked child, SIGKILL it as soon as the journal shows progress
+    // (wherever mid-write that lands), then --resume and demand the
+    // final table is byte-identical to an uninterrupted run.
+    const std::string full = fullRun();
+    std::remove(path_.c_str());
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        SweepOptions opts;
+        opts.checkpoint = path_;
+        opts.progress = false;
+        opts.isolation = Isolation::Process;
+        WorkloadCache cache;
+        opts.cache = &cache;
+        SweepRunner(opts).run(smallPlan());
+        _exit(0);
+    }
+
+    // Kill the sweep once at least one entry follows the header (so
+    // the kill lands at a random later cell, possibly mid-append).
+    for (int spins = 0; spins < 10'000; spins++) {
+        std::ifstream is(path_);
+        std::string line;
+        size_t lines = 0;
+        while (std::getline(is, line))
+            lines++;
+        if (lines >= 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+    SweepOptions opts;
+    opts.checkpoint = path_;
+    opts.resume = true;
+    opts.isolation = Isolation::Process;
+    WorkloadCache cache;
+    EXPECT_EQ(csvOf(sweep(smallPlan(), opts, cache)), full);
+
+    // The rewritten journal is whole: a second resume restores all
+    // cells and builds nothing.
+    WorkloadCache cache2;
+    EXPECT_EQ(csvOf(sweep(smallPlan(), opts, cache2)), full);
+    EXPECT_EQ(cache2.builds(), 0u);
 }
 
 TEST_F(ResumeTest, ResumePreservesFailedResults)

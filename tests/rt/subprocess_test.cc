@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests of the fork/pipe/waitpid execution primitive: protocol
+ * success, exit-code and signal decoding, wall-clock deadlines,
+ * stderr capture with the flood cap, and resource caps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "rt/subprocess.hh"
+
+// ASan reserves terabytes of virtual address space, so RLIMIT_AS
+// tests only run in unsanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define VRSIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VRSIM_ASAN 1
+#endif
+#endif
+#ifndef VRSIM_ASAN
+#define VRSIM_ASAN 0
+#endif
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(SubprocessTest, ProtocolSuccessTransportsTheLine)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int fd) {
+            return Subprocess::writeAll(fd, "hello result\n") ? 0 : 1;
+        },
+        ResourceCaps{}, 5'000);
+    EXPECT_TRUE(out.protocol_ok);
+    EXPECT_TRUE(out.status.exited);
+    EXPECT_EQ(out.status.code, 0);
+    EXPECT_FALSE(out.timed_out);
+    EXPECT_EQ(out.result_line, "hello result\n");
+    EXPECT_GT(out.rss_peak_kb, 0u);
+}
+
+TEST(SubprocessTest, NonzeroExitIsNotProtocolOk)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int) { return 7; }, ResourceCaps{}, 5'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_TRUE(out.status.exited);
+    EXPECT_EQ(out.status.code, 7);
+    EXPECT_EQ(out.status.describe(), "exit code 7");
+}
+
+TEST(SubprocessTest, MissingResultLineIsNotProtocolOk)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int) { return 0; }, ResourceCaps{}, 5'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_TRUE(out.result_line.empty());
+}
+
+TEST(SubprocessTest, SignalDeathIsDecoded)
+{
+    // SIGKILL cannot be intercepted by sanitizer runtimes, so this
+    // assertion is stable under every build mode.
+    ChildOutcome out = Subprocess::run(
+        [](int) -> int {
+            raise(SIGKILL);
+            return 0;
+        },
+        ResourceCaps{}, 5'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_FALSE(out.status.exited);
+    EXPECT_EQ(out.status.signal, SIGKILL);
+    EXPECT_EQ(out.status.describe(), "signal 9 (SIGKILL)");
+}
+
+TEST(SubprocessTest, DeadlineKillsASpinningChild)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int) -> int {
+            volatile uint64_t burn = 0;
+            for (;;)
+                burn = burn + 1;
+        },
+        ResourceCaps{}, 300);
+    EXPECT_TRUE(out.timed_out);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_FALSE(out.status.exited);
+    EXPECT_EQ(out.status.signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ChildBodyExceptionBecomesExitCode)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int) -> int { throw std::runtime_error("boom"); },
+        ResourceCaps{}, 5'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_TRUE(out.status.exited);
+    EXPECT_EQ(out.status.code, 81);
+    EXPECT_NE(out.stderr_text.find("boom"), std::string::npos);
+}
+
+TEST(SubprocessTest, StderrIsCapturedAndCapped)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int fd) {
+            std::fprintf(stderr, "diagnostic line\n");
+            // Flood well past the cap.
+            std::string big(8 * 1024, 'x');
+            for (int i = 0; i < 32; i++)
+                std::fprintf(stderr, "%s\n", big.c_str());
+            return Subprocess::writeAll(fd, "done\n") ? 0 : 1;
+        },
+        ResourceCaps{}, 10'000);
+    EXPECT_TRUE(out.protocol_ok);
+    EXPECT_NE(out.stderr_text.find("diagnostic line"),
+              std::string::npos);
+    EXPECT_LE(out.stderr_text.size(), Subprocess::kStderrCap);
+    EXPECT_GT(out.stderr_dropped, 0u);
+}
+
+TEST(SubprocessTest, CpuCapKillsASpinningChild)
+{
+    ResourceCaps caps;
+    caps.cpu_seconds = 1;
+    ChildOutcome out = Subprocess::run(
+        [](int) -> int {
+            volatile uint64_t burn = 0;
+            for (;;)
+                burn = burn + 1;
+        },
+        caps, 30'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_FALSE(out.timed_out);  // RLIMIT_CPU fired, not the deadline
+    EXPECT_FALSE(out.status.exited);
+    // The kernel delivers SIGXCPU at the soft limit (default action
+    // terminates); SIGKILL at the hard limit is the backstop.
+    EXPECT_TRUE(out.status.signal == SIGXCPU ||
+                out.status.signal == SIGKILL)
+        << out.status.describe();
+}
+
+#if !VRSIM_ASAN
+TEST(SubprocessTest, MemCapStopsARunawayAllocation)
+{
+    ResourceCaps caps;
+    caps.mem_bytes = 64ull << 20;
+    ChildOutcome out = Subprocess::run(
+        [](int) -> int {
+            constexpr size_t kChunk = 8u << 20;
+            for (;;) {
+                char *m = new (std::nothrow) char[kChunk];
+                if (!m)
+                    return 42;  // allocation refused: the cap worked
+                std::memset(m, 0xA5, kChunk);
+            }
+        },
+        caps, 30'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_TRUE(out.status.exited);
+    EXPECT_EQ(out.status.code, 42);
+}
+#endif
+
+} // namespace
+} // namespace vrsim

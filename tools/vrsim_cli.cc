@@ -26,9 +26,29 @@
  *     --keep-going        record failed runs in a sweep and continue
  *     --inject-fail NAME[:KIND]
  *                         fault injection: fail the named technique's
- *                         run with KIND = fatal|panic|hang|diverge
- *                         (default panic); exercises the robustness
- *                         machinery end to end
+ *                         run with KIND = fatal|panic|hang|diverge|
+ *                         segv|oom|spin|exit:N|killself:SIG (default
+ *                         panic); the process-grade kinds require
+ *                         --isolation process; exercises the
+ *                         robustness machinery end to end
+ *     --isolation MODE    thread (default) | process: run each sweep
+ *                         cell in its own forked child so a SIGSEGV/
+ *                         OOM/wedge becomes a crashed/timedout row
+ *                         instead of killing the sweep
+ *     --cell-timeout S    per-cell wall-clock deadline in seconds
+ *                         (SIGKILL on expiry; process isolation)
+ *     --cell-mem-mb N     per-cell RLIMIT_AS cap in MiB (process
+ *                         isolation; do not combine with ASan)
+ *     --cell-cpu-s N      per-cell RLIMIT_CPU cap in seconds
+ *     --retries N         re-run a cell after a process-grade death
+ *                         up to N times (exponential backoff);
+ *                         in-taxonomy failures are never retried
+ *     --backoff-ms N      first retry delay, doubling per retry
+ *                         (default 100)
+ *     --chaos SEED:RATE   chaos harness: randomly inject process-
+ *                         grade faults into cells with probability
+ *                         RATE per attempt (requires --isolation
+ *                         process; see docs/robustness.md)
  *     --check-digests     differential oracle: hash every run's
  *                         committed stream and compare each technique
  *                         against the OoO baseline (added implicitly);
@@ -64,7 +84,8 @@
  * Exit codes (see docs/robustness.md):
  *   0 success; 1 fatal (bad configuration / failed runs under
  *   --keep-going); 2 usage; 70 internal panic, watchdog hang, or
- *   digest divergence.
+ *   digest divergence; 124 cell deadline expired; 128+signo cell
+ *   killed by a signal (process isolation).
  */
 
 #include <cstdlib>
@@ -75,6 +96,7 @@
 #include "driver/report.hh"
 #include "driver/repro.hh"
 #include "driver/sweep_runner.hh"
+#include "rt/cell_supervisor.hh"
 #include "obs/self_profile.hh"
 #include "obs/trace.hh"
 #include "sim/parse.hh"
@@ -113,18 +135,13 @@ parseFormat(const std::string &s)
     fatal("unknown format: " + s + " (expected table, csv or json)");
 }
 
-/** Map a failed run's status to the process exit-code contract. */
+/** Map a failed run's status to the process exit-code contract
+ *  (exitCodeForStatus: 124 for a deadline kill, 128+signo for a
+ *  signal death — never aliasing 70). */
 int
 exitCodeFor(const SimResult &r)
 {
-    switch (r.status) {
-      case SimStatus::Ok: return 0;
-      case SimStatus::Fatal: return EXIT_FATAL;
-      case SimStatus::Panic:
-      case SimStatus::Hang:
-      case SimStatus::Diverged: return EXIT_PANIC_OR_HANG;
-    }
-    return EXIT_FATAL;
+    return exitCodeForStatus(r.status, r.term_signal);
 }
 
 /**
@@ -140,8 +157,19 @@ replayBundle(const std::string &path)
     inform("replaying " + b.point.id() + " (recorded status: " +
            simStatusName(b.status) + ")");
 
-    SimResult r = SweepRunner::runPoint(b.point,
-                                        WorkloadCache::process());
+    SimResult r;
+    if (b.point.inject_fail &&
+        injectKindIsProcessGrade(b.point.inject_kind)) {
+        // A process-grade fault must run in a supervised child (it
+        // kills its process by design); the deadline makes a spin
+        // fault reproduce as timedout instead of wedging the replay.
+        CellOptions copts;
+        copts.timeout_ms = 10'000;
+        CellSupervisor sup(copts, WorkloadCache::process());
+        r = sup.runCell(b.point).result;
+    } else {
+        r = SweepRunner::runPoint(b.point, WorkloadCache::process());
+    }
     if (b.baseline_digest && r.ok()) {
         if (!r.digest)
             fatal("replayed run produced no digest but the bundle "
@@ -180,6 +208,9 @@ printUsage(std::ostream &os)
         "             [--nodes N] [--degree N] [--elems N]\n"
         "             [--watchdog-cycles N] [--keep-going]\n"
         "             [--inject-fail NAME[:KIND]] [--check-digests]\n"
+        "             [--isolation thread|process] [--cell-timeout S]\n"
+        "             [--cell-mem-mb N] [--cell-cpu-s N] [--retries N]\n"
+        "             [--backoff-ms N] [--chaos SEED:RATE]\n"
         "             [--digest-interval N] [--repro-dir DIR]\n"
         "             [--trace EVENTS:FILE] [--stats-json FILE]\n"
         "             [--profile] [--replay BUNDLE]\n"
@@ -237,6 +268,21 @@ main(int argc, char **argv)
             else if (a == "--digest-interval")
                 cfg.digest_interval = parseU64(a, need(i));
             else if (a == "--repro-dir") opts.repro_dir = need(i);
+            else if (a == "--isolation")
+                opts.isolation = isolationFromName(need(i));
+            else if (a == "--cell-timeout")
+                opts.cell_timeout_ms =
+                    uint64_t(parseF64(a, need(i)) * 1000.0);
+            else if (a == "--cell-mem-mb")
+                opts.cell_mem_mb = parseU64(a, need(i));
+            else if (a == "--cell-cpu-s")
+                opts.cell_cpu_s = parseU64(a, need(i));
+            else if (a == "--retries")
+                opts.retries = unsigned(parseU64(a, need(i)));
+            else if (a == "--backoff-ms")
+                opts.backoff_ms = parseU64(a, need(i));
+            else if (a == "--chaos")
+                opts.chaos = ChaosPolicy::parse(need(i));
             else if (a == "--trace") trace_spec = need(i);
             else if (a == "--stats-json") stats_json_path = need(i);
             else if (a == "--profile") setProfileColumns(true);
@@ -311,15 +357,19 @@ main(int argc, char **argv)
             plan.add({spec}, std::move(columns));
         }
         if (!inject_fail.empty()) {
-            // NAME[:KIND], e.g. "vr:diverge"; KIND defaults to panic.
+            // NAME[:KIND], e.g. "vr:diverge" or "dvr:exit:3"; the
+            // split is at the FIRST colon only — the kind spec may
+            // carry its own ":arg". KIND defaults to panic.
             InjectKind kind = InjectKind::Panic;
+            uint32_t arg = 0;
             std::string name = inject_fail;
             if (size_t colon = inject_fail.find(':');
                 colon != std::string::npos) {
                 name = inject_fail.substr(0, colon);
-                kind = injectKindFromName(inject_fail.substr(colon + 1));
+                kind = injectKindParse(inject_fail.substr(colon + 1),
+                                       arg);
             }
-            plan.injectFail(parseTechnique(name), kind);
+            plan.injectFail(parseTechnique(name), kind, arg);
         }
 
         // The trace stream and sink outlive the sweep; the sink only
@@ -340,7 +390,8 @@ main(int argc, char **argv)
         opts.jobs = unsigned(jobs);
         opts.progress = all_techniques && format == Format::Table;
         opts.check_digests = check_digests;
-        ResultTable table = SweepRunner(opts).run(plan);
+        SweepRunner runner(opts);
+        ResultTable table = runner.run(plan);
 
         if (trace_sink) {
             trace_os.flush();
@@ -355,7 +406,7 @@ main(int argc, char **argv)
             if (!sj)
                 fatal("cannot write stats-json file '" +
                       stats_json_path + "'");
-            writeStatsJson(sj, table);
+            writeStatsJson(sj, table, &runner.stats());
         }
 
         // Time the rendering below as the "report" phase; reset()
