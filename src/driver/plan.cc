@@ -1,5 +1,7 @@
 #include "driver/plan.hh"
 
+#include <csignal>
+
 #include "driver/report.hh"
 #include "sim/parse.hh"
 
@@ -67,9 +69,19 @@ injectKindParse(const std::string &spec, uint32_t &arg)
     if (kind == InjectKind::ExitCode && arg > 255)
         fatal("exit:N exit code must be 0..255, got " +
               std::to_string(arg));
-    if (kind == InjectKind::KillSelf && (arg == 0 || arg > 64))
-        fatal("killself:SIG signal must be 1..64, got " +
-              std::to_string(arg));
+    if (kind == InjectKind::KillSelf) {
+        if (arg == 0 || arg > 64)
+            fatal("killself:SIG signal must be 1..64, got " +
+                  std::to_string(arg));
+        // A stop signal is not a death: the child would sit with its
+        // pipes open consuming no CPU until the supervisor's stopped-
+        // child sweep SIGKILLs it, which tests nothing useful.
+        if (arg == SIGSTOP || arg == SIGTSTP || arg == SIGTTIN ||
+            arg == SIGTTOU)
+            fatal("killself:SIG rejects stop signals (signal " +
+                  std::to_string(arg) + " would suspend the cell, "
+                  "not kill it)");
+    }
     return kind;
 }
 

@@ -102,6 +102,10 @@ drain(int fd, std::string &sink, uint64_t &dropped, size_t cap)
 std::string
 ExitStatus::describe() const
 {
+    if (!known)
+        return "unknown (reap failed: " +
+               std::string(reap_errno ? std::strerror(reap_errno)
+                                      : "wrong pid") + ")";
     if (exited)
         return "exit code " + std::to_string(code);
     return "signal " + std::to_string(signal) + " (" +
@@ -130,26 +134,46 @@ Subprocess::run(const Body &body, const ResourceCaps &caps,
 {
     int result_pipe[2];
     int err_pipe[2];
-    if (pipe(result_pipe) != 0)
-        fatal("rt: pipe() failed: " + std::string(std::strerror(errno)));
-    if (pipe(err_pipe) != 0)
-        fatal("rt: pipe() failed: " + std::string(std::strerror(errno)));
-
     pid_t pid;
     {
-        // Hold the process-wide log mutex across fork() so no sibling
-        // sweep worker is mid-logLine when the address space is
-        // duplicated; the child's single thread inherits it unlocked
-        // (we are the owner and release it on both sides).
+        // Hold the process-wide log mutex across pipe() + fork() +
+        // the parent-side close of the write ends. It serializes
+        // sibling logLine calls (the child's single thread must
+        // inherit a consistent logging state) and, just as
+        // importantly, sibling run() calls: a child forked by another
+        // worker inside the pipe()..close() window would inherit this
+        // cell's write ends and hold them open past our child's
+        // death, so the poll loop below would never see EOF and a
+        // healthy cell could be misclassified TimedOut (or block
+        // forever with no deadline). fatal() throws, so the guard
+        // releases the lock on every exit path.
         std::lock_guard<std::mutex> lock(log_detail::mutex());
+        if (pipe(result_pipe) != 0)
+            fatal("rt: pipe() failed: " +
+                  std::string(std::strerror(errno)));
+        if (pipe(err_pipe) != 0) {
+            int saved = errno;
+            close(result_pipe[0]);
+            close(result_pipe[1]);
+            fatal("rt: pipe() failed: " +
+                  std::string(std::strerror(saved)));
+        }
         pid = fork();
-    }
-    if (pid < 0) {
-        close(result_pipe[0]);
-        close(result_pipe[1]);
-        close(err_pipe[0]);
-        close(err_pipe[1]);
-        fatal("rt: fork() failed: " + std::string(std::strerror(errno)));
+        if (pid < 0) {
+            int saved = errno;
+            close(result_pipe[0]);
+            close(result_pipe[1]);
+            close(err_pipe[0]);
+            close(err_pipe[1]);
+            fatal("rt: fork() failed: " +
+                  std::string(std::strerror(saved)));
+        }
+        if (pid > 0) {
+            // The write ends must vanish before the lock drops so no
+            // sibling's child can ever inherit them.
+            close(result_pipe[1]);
+            close(err_pipe[1]);
+        }
     }
 
     if (pid == 0) {
@@ -177,14 +201,12 @@ Subprocess::run(const Body &body, const ResourceCaps &caps,
         _exit(code);
     }
 
-    // ---- parent ----
-    close(result_pipe[1]);
-    close(err_pipe[1]);
+    // ---- parent ---- (write ends already closed under the lock)
     setNonBlocking(result_pipe[0]);
     setNonBlocking(err_pipe[0]);
 
     ChildOutcome out;
-    uint64_t result_dropped = 0;  // result lines are small; never caps
+    uint64_t result_dropped = 0;
     const Clock::time_point deadline =
         Clock::now() + std::chrono::milliseconds(deadline_ms);
 
@@ -198,18 +220,38 @@ Subprocess::run(const Body &body, const ResourceCaps &caps,
         if (open_err)
             pfds[n++] = {err_pipe[0], POLLIN, 0};
 
-        int timeout = -1;
+        // Bounded slice even with no deadline: a child stopped by a
+        // signal (SIGSTOP et al.) holds its pipes open while burning
+        // no CPU, so only a periodic liveness check below can unwedge
+        // the loop. The slice also keeps the timeout far from
+        // INT_MAX, where a huge deadline would overflow into poll's
+        // "wait forever" -1.
+        long long timeout = kPollSliceMs;
         if (deadline_ms && !out.timed_out) {
             auto left = std::chrono::duration_cast<
                 std::chrono::milliseconds>(deadline - Clock::now())
                 .count();
-            timeout = left > 0 ? int(left) : 0;
+            timeout = std::max<long long>(
+                0, std::min<long long>(left, kPollSliceMs));
         }
-        int rv = poll(pfds, n, timeout);
+        int rv = poll(pfds, n, int(timeout));
         if (rv < 0) {
             if (errno == EINTR)
                 continue;
             break;   // give up polling; fall through to wait below
+        }
+        // SIGKILL a stopped child: it would otherwise hold the pipes
+        // open indefinitely (SIGKILL terminates stopped processes
+        // without a SIGCONT). WNOWAIT leaves it reapable by the wait4
+        // below. Match on the pid alone: WSTOPPED only ever reports
+        // stopped children, and some kernels fill si_code with
+        // CLD_KILLED rather than CLD_STOPPED here.
+        siginfo_t si;
+        si.si_pid = 0;
+        if (waitid(P_PID, id_t(pid), &si,
+                   WSTOPPED | WNOHANG | WNOWAIT) == 0 &&
+            si.si_pid == pid) {
+            kill(pid, SIGKILL);
         }
         if (rv > 0) {
             for (nfds_t i = 0; i < n; i++) {
@@ -217,7 +259,7 @@ Subprocess::run(const Body &body, const ResourceCaps &caps,
                     continue;
                 if (pfds[i].fd == result_pipe[0]) {
                     if (!drain(result_pipe[0], out.result_line,
-                               result_dropped, size_t(-1))) {
+                               result_dropped, kResultCap)) {
                         close(result_pipe[0]);
                         open_result = false;
                         fds_open--;
@@ -251,6 +293,7 @@ Subprocess::run(const Body &body, const ResourceCaps &caps,
         reaped = wait4(pid, &status, 0, &ru);
     } while (reaped < 0 && errno == EINTR);
     if (reaped == pid) {
+        out.status.known = true;
         if (WIFEXITED(status)) {
             out.status.exited = true;
             out.status.code = WEXITSTATUS(status);
@@ -259,10 +302,15 @@ Subprocess::run(const Body &body, const ResourceCaps &caps,
             out.status.signal = WTERMSIG(status);
         }
         out.rss_peak_kb = uint64_t(ru.ru_maxrss);  // KiB on Linux
+    } else {
+        // The reap itself failed (e.g. ECHILD after an interfering
+        // wait elsewhere): record that distinctly instead of letting
+        // defaults masquerade as "signal 0".
+        out.status.reap_errno = reaped < 0 ? errno : 0;
     }
 
     out.protocol_ok = out.status.exited && out.status.code == 0 &&
-                      !out.result_line.empty() &&
+                      result_dropped == 0 && !out.result_line.empty() &&
                       out.result_line.back() == '\n' && !out.timed_out;
     return out;
 }

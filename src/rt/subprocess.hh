@@ -18,9 +18,12 @@
  * a process-grade failure the caller maps onto its own taxonomy.
  *
  * Fork safety: the process-wide log mutex (sim/logging.hh) is held
- * across fork() so no sibling thread can be mid-logLine when the
- * address space is duplicated — the child's single thread inherits a
- * consistent, unlocked logging state. Callers must ensure any other
+ * across pipe() + fork() + the parent-side close of the pipe write
+ * ends, so no sibling thread can be mid-logLine when the address
+ * space is duplicated — the child's single thread inherits a
+ * consistent, unlocked logging state — and no sibling's child can
+ * inherit this cell's pipe write ends (a leaked write end would keep
+ * the read side from ever reaching EOF). Callers must ensure any other
  * locks they share with sibling threads (e.g. a workload cache) are
  * quiescent at spawn time; see CellSupervisor for the prebuild
  * discipline the sweep layer uses.
@@ -53,11 +56,18 @@ struct ResourceCaps
 /** Decoded waitpid(2) status of a finished child. */
 struct ExitStatus
 {
+    /** The reap succeeded and exited/code/signal below are real. When
+     *  false the child's fate is unknown (reap_errno says why) and
+     *  must not be reported as a signal-0 death. */
+    bool known = false;
+
     bool exited = false;  //!< normal exit (code below) vs. signal death
     int code = 0;         //!< exit code when exited
     int signal = 0;       //!< terminating signal when !exited
+    int reap_errno = 0;   //!< wait4 errno when !known (e.g. ECHILD)
 
-    /** "exit code 3" / "signal 11 (SIGSEGV)". */
+    /** "exit code 3" / "signal 11 (SIGSEGV)" /
+     *  "unknown (reap failed: ...)". */
     std::string describe() const;
 };
 
@@ -91,6 +101,17 @@ class Subprocess
     /** Child stderr capture cap: a crash-looping cell cannot balloon
      *  the parent's memory through the relay pipe. */
     static constexpr size_t kStderrCap = 64 * 1024;
+
+    /** Result-line capture cap, generous next to any real result row.
+     *  A child that loops writing to its result fd cannot balloon the
+     *  parent's memory; exceeding the cap fails the protocol. */
+    static constexpr size_t kResultCap = 4 * 1024 * 1024;
+
+    /** Longest single poll(2) wait: bounds how late a stopped child
+     *  (SIGSTOP holds the pipes open, burns no CPU) is detected and
+     *  SIGKILLed, and keeps huge deadlines out of int-truncation
+     *  territory. */
+    static constexpr long long kPollSliceMs = 1000;
 
     /**
      * The child's entry point: runs with @p result_fd open for

@@ -203,6 +203,19 @@ TEST(SweepRunnerTest, CsvRowsCarryPointIds)
     EXPECT_NE(os.str().find("\ncamel:OoO,"), std::string::npos);
 }
 
+TEST(SweepRunnerTest, InjectKindParseRejectsStopSignals)
+{
+    uint32_t arg = 0;
+    EXPECT_EQ(injectKindParse("killself:9", arg), InjectKind::KillSelf);
+    EXPECT_EQ(arg, 9u);
+    // Stop signals suspend the cell instead of killing it — useless
+    // as a death test and a hang risk, so the parser refuses them.
+    EXPECT_THROW(injectKindParse("killself:19", arg), FatalError);
+    EXPECT_THROW(injectKindParse("killself:20", arg), FatalError);
+    EXPECT_THROW(injectKindParse("killself:0", arg), FatalError);
+    EXPECT_THROW(injectKindParse("killself:65", arg), FatalError);
+}
+
 TEST(SweepRunnerTest, JobsFromEnvParsesStrictly)
 {
     unsetenv("VRSIM_JOBS");

@@ -100,6 +100,61 @@ TEST(SubprocessTest, DeadlineKillsASpinningChild)
     EXPECT_EQ(out.status.signal, SIGKILL);
 }
 
+TEST(SubprocessTest, StoppedChildIsKilledEvenWithoutDeadline)
+{
+    // A stopped child holds its pipes open while consuming no CPU;
+    // the bounded poll slice plus the liveness sweep must SIGKILL it
+    // instead of waiting forever (deadline 0 = none).
+    ChildOutcome out = Subprocess::run(
+        [](int) -> int {
+            raise(SIGSTOP);
+            return 0;
+        },
+        ResourceCaps{}, 0);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_FALSE(out.timed_out);
+    EXPECT_FALSE(out.status.exited);
+    EXPECT_EQ(out.status.signal, SIGKILL);
+}
+
+TEST(SubprocessTest, HugeDeadlineDoesNotOverflowThePollTimeout)
+{
+    // A deadline beyond INT_MAX ms must not wrap into poll's
+    // "wait forever" -1; a healthy child still completes promptly.
+    ChildOutcome out = Subprocess::run(
+        [](int fd) {
+            return Subprocess::writeAll(fd, "ok\n") ? 0 : 1;
+        },
+        ResourceCaps{}, uint64_t(1) << 40);
+    EXPECT_TRUE(out.protocol_ok);
+    EXPECT_EQ(out.result_line, "ok\n");
+}
+
+TEST(SubprocessTest, ResultFloodIsCappedAndFailsProtocol)
+{
+    ChildOutcome out = Subprocess::run(
+        [](int fd) {
+            std::string big(64 * 1024, 'r');
+            size_t target = Subprocess::kResultCap + (1u << 20);
+            for (size_t sent = 0; sent < target; sent += big.size())
+                if (!Subprocess::writeAll(fd, big))
+                    return 1;
+            return Subprocess::writeAll(fd, "\n") ? 0 : 1;
+        },
+        ResourceCaps{}, 30'000);
+    EXPECT_FALSE(out.protocol_ok);
+    EXPECT_LE(out.result_line.size(), Subprocess::kResultCap);
+}
+
+TEST(SubprocessTest, ReapFailureDescribesItself)
+{
+    // A default ExitStatus (reap never succeeded) must not read as a
+    // "signal 0" death.
+    ExitStatus st;
+    EXPECT_NE(st.describe().find("reap failed"), std::string::npos);
+    EXPECT_EQ(st.describe().find("signal 0"), std::string::npos);
+}
+
 TEST(SubprocessTest, ChildBodyExceptionBecomesExitCode)
 {
     ChildOutcome out = Subprocess::run(
@@ -134,13 +189,17 @@ TEST(SubprocessTest, CpuCapKillsASpinningChild)
 {
     ResourceCaps caps;
     caps.cpu_seconds = 1;
+    // The wall deadline is only a hang backstop here: accruing one
+    // CPU-second can take far longer than a second of wall time when
+    // the full test suite oversubscribes the host, and a deadline
+    // kill would flip timed_out and fail the assertions below.
     ChildOutcome out = Subprocess::run(
         [](int) -> int {
             volatile uint64_t burn = 0;
             for (;;)
                 burn = burn + 1;
         },
-        caps, 30'000);
+        caps, 120'000);
     EXPECT_FALSE(out.protocol_ok);
     EXPECT_FALSE(out.timed_out);  // RLIMIT_CPU fired, not the deadline
     EXPECT_FALSE(out.status.exited);
