@@ -90,32 +90,14 @@ OooCore::OooCore(const SystemConfig &cfg, const Program &prog,
 {
     cfg_.validate(false);
     const CoreConfig &c = cfg.core;
-    int_add_ = PortBank{c.int_add_units, c.int_add_lat, true, {}};
-    int_mul_ = PortBank{c.int_mul_units, c.int_mul_lat, true, {}};
-    int_div_ = PortBank{c.int_div_units, c.int_div_lat, false, {}};
-    fp_add_ = PortBank{c.fp_add_units, c.fp_add_lat, true, {}};
-    fp_mul_ = PortBank{c.fp_mul_units, c.fp_mul_lat, true, {}};
-    fp_div_ = PortBank{c.fp_div_units, c.fp_div_lat, false, {}};
-    load_ports_ = PortBank{c.load_ports, 1, true, {}};
-    store_ports_ = PortBank{c.store_ports, 1, true, {}};
-}
-
-OooCore::PortBank &
-OooCore::portsFor(FuClass fu)
-{
-    switch (fu) {
-      case FuClass::IntAdd: return int_add_;
-      case FuClass::IntMul: return int_mul_;
-      case FuClass::IntDiv: return int_div_;
-      case FuClass::FpAdd: return fp_add_;
-      case FuClass::FpMul: return fp_mul_;
-      case FuClass::FpDiv: return fp_div_;
-      case FuClass::Load: return load_ports_;
-      case FuClass::Store: return store_ports_;
-      case FuClass::Branch: return int_add_;
-      case FuClass::None: return int_add_;
-    }
-    panic("bad FU class");
+    int_add_ = PortBank(c.int_add_units, c.int_add_lat, true);
+    int_mul_ = PortBank(c.int_mul_units, c.int_mul_lat, true);
+    int_div_ = PortBank(c.int_div_units, c.int_div_lat, false);
+    fp_add_ = PortBank(c.fp_add_units, c.fp_add_lat, true);
+    fp_mul_ = PortBank(c.fp_mul_units, c.fp_mul_lat, true);
+    fp_div_ = PortBank(c.fp_div_units, c.fp_div_lat, false);
+    load_ports_ = PortBank(c.load_ports, 1, true);
+    store_ports_ = PortBank(c.store_ports, 1, true);
 }
 
 CoreStats
@@ -129,7 +111,12 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
     CoreStats st;
     CpuState state = init;
 
-    std::array<Cycle, NUM_ARCH_REGS> reg_ready{};
+    // Writeback time per architectural register, padded to the full
+    // uint8_t range so REG_NONE (0xFF) indexes a permanently-zero
+    // slot: operand wakeup then reads every source field
+    // unconditionally instead of branching on REG_NONE per operand.
+    static_assert(REG_NONE == 0xFF && NUM_ARCH_REGS <= 0xFF);
+    std::array<Cycle, 256> reg_ready{};
 
     // Ring buffers modelling structure occupancy: entry i % N holds
     // the cycle at which the instruction N-before the current one
@@ -153,10 +140,19 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
     std::vector<Cycle> commit_width_ring(c.width, 0);
     uint64_t load_count = 0;
     uint64_t store_count = 0;
+    // Ring cursors tracking i % rob_size (etc.) incrementally: the
+    // structure sizes are not powers of two, so a literal modulo is
+    // a hardware divide on every dispatched instruction.
+    uint32_t rob_idx = 0;  // i % c.rob_size
+    uint32_t cw_idx = 0;   // i % c.width
+    uint32_t lq_idx = 0;   // load_count % c.load_queue
+    uint32_t sq_idx = 0;   // store_count % c.store_queue
 
     Cycle disp_cycle = 0;
     uint32_t disp_count = 0;
     Cycle fetch_resume = 0;
+    uint64_t last_iline = UINT64_MAX;  // L1I same-line fast path
+    Cycle last_iline_cycle = 0;
     Cycle last_commit = 0;
     Cycle commit_floor = 0;
     uint64_t last_trigger_head = UINT64_MAX;
@@ -201,30 +197,68 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
             if (at_warmup)
                 at_warmup();
         }
+        // Event-calendar housekeeping: every reservation made from
+        // here on — demand load/store, L1I fill, software or stride
+        // prefetch, or a runahead engine's — starts at or after the
+        // current dispatch point (docs/performance.md proves the
+        // floor), so calendar history behind it is dead. Retire it
+        // in bulk so resident calendar state tracks the instruction
+        // window rather than the whole run. The slack keeps a full
+        // retirement granule of history around the horizon so
+        // boundary queries (e.g. hang snapshots) stay answerable.
+        constexpr Cycle RETIRE_SLACK = 8192;
+        if ((i & 0xFFF) == 0 && disp_cycle > RETIRE_SLACK) {
+            const Cycle horizon = disp_cycle - RETIRE_SLACK;
+            hier_.retireHistory(horizon);
+            int_add_.retireBefore(horizon);
+            int_mul_.retireBefore(horizon);
+            int_div_.retireBefore(horizon);
+            fp_add_.retireBefore(horizon);
+            fp_mul_.retireBefore(horizon);
+            fp_div_.retireBefore(horizon);
+            load_ports_.retireBefore(horizon);
+            store_ports_.retireBefore(horizon);
+        }
         StepInfo si = step(prog_, state, image_);
 
         // ---------------- fetch: L1I ----------------
         // µops are 4 bytes in a notional text segment; an I-cache
         // miss stalls fetch for an L2 access (kernels fit in the
         // 32 KB L1I after the first touch).
+        //
+        // Same-line fast path: this block is the only L1I user, so
+        // between two fetches of the same line no insert (and hence
+        // no eviction) can occur — a repeat fetch is a guaranteed hit
+        // and its next-line prefetch a guaranteed no-op. Skipping the
+        // array walks is byte-identical as long as the line's LRU
+        // timestamp is caught up before the next different-line
+        // access observes it (the lookup below on line change); the
+        // interleaved inserts of line+1 land in a different set and
+        // cannot consult this set's recency.
         {
             uint64_t iline = l1i_.lineAddr(uint64_t(si.pc) * 4);
-            if (!l1i_.lookup(iline, disp_cycle)) {
-                ++st.icache_misses;
-                l1i_.insert(iline, disp_cycle,
-                            disp_cycle + cfg_.l2.latency,
-                            Requester::Demand);
-                fetch_resume = std::max(fetch_resume,
-                                        disp_cycle + cfg_.l2.latency);
+            if (iline != last_iline) {
+                if (last_iline != UINT64_MAX)
+                    l1i_.lookup(last_iline, last_iline_cycle);
+                if (!l1i_.lookup(iline, disp_cycle)) {
+                    ++st.icache_misses;
+                    l1i_.insert(iline, disp_cycle,
+                                disp_cycle + cfg_.l2.latency,
+                                Requester::Demand);
+                    fetch_resume = std::max(fetch_resume,
+                                            disp_cycle + cfg_.l2.latency);
+                }
+                // Sequential next-line instruction prefetch:
+                // straight-line fetch runs ahead of demand, so only
+                // the first line of a fresh region pays the miss.
+                if (!l1i_.peek(iline + 1)) {
+                    l1i_.insert(iline + 1, disp_cycle,
+                                disp_cycle + cfg_.l2.latency,
+                                Requester::StridePf);
+                }
+                last_iline = iline;
             }
-            // Sequential next-line instruction prefetch: straight-line
-            // fetch runs ahead of demand, so only the first line of a
-            // fresh region pays the miss.
-            if (!l1i_.peek(iline + 1)) {
-                l1i_.insert(iline + 1, disp_cycle,
-                            disp_cycle + cfg_.l2.latency,
-                            Requester::StridePf);
-            }
+            last_iline_cycle = disp_cycle;
         }
 
         // ---------------- dispatch ----------------
@@ -237,22 +271,21 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
             st.stall_iq += iq_heap.top() - d;
             d = iq_heap.top();
         }
-        if (si.is_mem && !si.is_store &&
-            lq_ring[load_count % c.load_queue] > d) {
+        if (si.is_mem && !si.is_store && lq_ring[lq_idx] > d) {
             // The load queue is the instruction window's binding
             // resource for load-heavy code (128 loads span fewer
             // µops than the 350-entry ROB): a full LQ blocked on a
             // long-latency load is the same window-exhaustion event
             // as a full ROB, and triggers runahead identically.
-            st.stall_lq += lq_ring[load_count % c.load_queue] - d;
+            st.stall_lq += lq_ring[lq_idx] - d;
             uint64_t lhead = load_count >= c.load_queue
                 ? load_count - c.load_queue : 0;
-            Cycle lq_free = lq_ring[load_count % c.load_queue];
-            if (engine_ && lq_trigger[load_count % c.load_queue] &&
+            Cycle lq_free = lq_ring[lq_idx];
+            if (engine_ && lq_trigger[lq_idx] &&
                 (lhead | (1ull << 63)) != last_trigger_head) {
                 ++st.full_rob_stall_events;
                 last_trigger_head = lhead | (1ull << 63);
-                Cycle head_fill = lq_fill[load_count % c.load_queue];
+                Cycle head_fill = lq_fill[lq_idx];
                 Cycle resume = engine_->onFullRobStall(d, head_fill,
                                                        state);
                 if (resume > lq_free) {
@@ -263,20 +296,20 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
             }
             d = lq_free;
         }
-        if (si.is_store && sq_ring[store_count % c.store_queue] > d) {
-            st.stall_sq += sq_ring[store_count % c.store_queue] - d;
-            d = sq_ring[store_count % c.store_queue];
+        if (si.is_store && sq_ring[sq_idx] > d) {
+            st.stall_sq += sq_ring[sq_idx] - d;
+            d = sq_ring[sq_idx];
         }
 
-        Cycle rob_free = rob_ring[i % c.rob_size];
+        Cycle rob_free = rob_ring[rob_idx];
         if (rob_free > d) {
             st.rob_stall_cycles += rob_free - d;
             uint64_t head_idx = i >= c.rob_size ? i - c.rob_size : 0;
-            if (engine_ && rob_head_trigger[i % c.rob_size] &&
+            if (engine_ && rob_head_trigger[rob_idx] &&
                 head_idx != last_trigger_head) {
                 ++st.full_rob_stall_events;
                 last_trigger_head = head_idx;
-                Cycle head_fill = rob_head_fill[i % c.rob_size];
+                Cycle head_fill = rob_head_fill[rob_idx];
                 Cycle resume = engine_->onFullRobStall(d, head_fill,
                                                        state);
                 if (resume > rob_free) {
@@ -305,14 +338,12 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
         bool mispredicted_now = false;
         Cycle ready = dispatch + 1;
         const Inst &inst = *si.inst;
-        auto use = [&](uint8_t r) {
-            if (r != REG_NONE)
-                ready = std::max(ready, reg_ready[r]);
-        };
-        use(inst.rs1);
-        use(inst.rs2);
-        if (si.is_store)
-            use(inst.rs3);
+        // Branchless wakeup: REG_NONE and a non-store's rs3 both
+        // land on the always-zero padding slots of reg_ready.
+        ready = std::max(ready, reg_ready[inst.rs1]);
+        ready = std::max(ready, reg_ready[inst.rs2]);
+        ready = std::max(ready,
+                         reg_ready[si.is_store ? inst.rs3 : REG_NONE]);
 
         Cycle complete = ready;
         Cycle issue = ready;
@@ -410,7 +441,7 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
         // ---------------- commit ----------------
         Cycle commit = std::max({complete + 1, last_commit,
                                  commit_floor,
-                                 commit_width_ring[i % c.width] + 1});
+                                 commit_width_ring[cw_idx] + 1});
         if (watchdog && commit - dispatch > watchdog)
             hang("no retirement for " + std::to_string(watchdog) +
                      " cycles: a resource reservation pushed commit " +
@@ -418,7 +449,7 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
                      " cycles past dispatch",
                  progressSnapshot(i, "core.commit"));
         last_commit = commit;
-        commit_width_ring[i % c.width] = commit;
+        commit_width_ring[cw_idx] = commit;
 
         // Stores drain to memory post-commit.
         Cycle slot_free = commit;
@@ -430,20 +461,26 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
                                   ? 1 : 0);
         }
 
-        rob_ring[i % c.rob_size] = commit;
-        rob_head_trigger[i % c.rob_size] = trigger_candidate;
-        rob_head_fill[i % c.rob_size] = fill_cycle;
+        rob_ring[rob_idx] = commit;
+        rob_head_trigger[rob_idx] = trigger_candidate;
+        rob_head_fill[rob_idx] = fill_cycle;
         iq_heap.push(issue);
         if (iq_heap.size() > c.issue_queue)
             iq_heap.pop();
         if (si.is_mem && !si.is_store) {
-            lq_ring[load_count % c.load_queue] = commit;
-            lq_trigger[load_count % c.load_queue] = trigger_candidate;
-            lq_fill[load_count % c.load_queue] = fill_cycle;
+            lq_ring[lq_idx] = commit;
+            lq_trigger[lq_idx] = trigger_candidate;
+            lq_fill[lq_idx] = fill_cycle;
             ++load_count;
+            if (++lq_idx == c.load_queue)
+                lq_idx = 0;
         }
-        if (si.is_store)
-            sq_ring[store_count++ % c.store_queue] = slot_free;
+        if (si.is_store) {
+            sq_ring[sq_idx] = slot_free;
+            ++store_count;
+            if (++sq_idx == c.store_queue)
+                sq_idx = 0;
+        }
 
         last_cycle = std::max(last_cycle, commit);
 
@@ -493,6 +530,11 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
             tr.mispredicted = mispredicted_now;
             trace_(tr);
         }
+
+        if (++rob_idx == c.rob_size)
+            rob_idx = 0;
+        if (++cw_idx == c.width)
+            cw_idx = 0;
     }
 
     st.instructions = i;

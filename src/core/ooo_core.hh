@@ -188,42 +188,53 @@ class OooCore
      * Out-of-order issue schedules non-chronologically (a later
      * instruction may issue at an earlier cycle than a previously
      * scheduled one), so the calendar tracks per-cycle usage counts
-     * rather than per-unit next-free times.
+     * rather than per-unit next-free times. Built on the same
+     * cycle-skipping IntervalResource as the memory-side resources
+     * (sim/event_calendar.hh): a non-pipelined unit's backlog is
+     * jumped, not polled, and history behind the dispatch horizon is
+     * retired by the core's periodic retireBefore() sweep.
      */
     struct PortBank
     {
         uint32_t units = 1;
         uint32_t latency = 1;
         bool pipelined = true;
-        std::unordered_map<Cycle, uint32_t> used;
+        IntervalResource res{1, 0};
+
+        PortBank() = default;
+        PortBank(uint32_t u, uint32_t lat, bool pipe)
+            : units(u), latency(lat), pipelined(pipe), res(u, 0)
+        {}
 
         /** Issue at the earliest cycle >= ready with a free unit. */
         Cycle
         issue(Cycle ready)
         {
-            Cycle t = ready;
-            while (true) {
-                bool ok = true;
-                const uint32_t span = pipelined ? 1 : latency;
-                for (uint32_t k = 0; k < span; k++) {
-                    auto it = used.find(t + k);
-                    if (it != used.end() && it->second >= units) {
-                        ok = false;
-                        t = t + k + 1;
-                        break;
-                    }
-                }
-                if (ok)
-                    break;
-            }
-            const uint32_t span = pipelined ? 1 : latency;
-            for (uint32_t k = 0; k < span; k++)
-                ++used[t + k];
-            return t;
+            return res.allocate(ready, pipelined ? 1 : latency);
         }
+
+        /** Drop calendar history wholly before @p cycle. */
+        void retireBefore(Cycle cycle) { res.retireBefore(cycle); }
     };
 
-    PortBank &portsFor(FuClass fu);
+    /** Bank for an FU class. Inline: once per dispatched instruction. */
+    PortBank &
+    portsFor(FuClass fu)
+    {
+        switch (fu) {
+          case FuClass::IntAdd: return int_add_;
+          case FuClass::IntMul: return int_mul_;
+          case FuClass::IntDiv: return int_div_;
+          case FuClass::FpAdd: return fp_add_;
+          case FuClass::FpMul: return fp_mul_;
+          case FuClass::FpDiv: return fp_div_;
+          case FuClass::Load: return load_ports_;
+          case FuClass::Store: return store_ports_;
+          case FuClass::Branch: return int_add_;
+          case FuClass::None: return int_add_;
+        }
+        panic("bad FU class");
+    }
 
     SystemConfig cfg_;
     const Program &prog_;

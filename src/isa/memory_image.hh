@@ -22,6 +22,13 @@ namespace vrsim
 /**
  * Sparse memory. Unbacked addresses read as zero, which also makes
  * speculative (runahead) wild loads safe by construction.
+ *
+ * Accesses are strongly page-local (the interpreter walks arrays),
+ * so the last page touched is memoized to skip the hash lookup on
+ * the hot path. The memo makes even const reads mutating under the
+ * hood: a MemoryImage must not be shared between threads. Parallel
+ * sweeps already honour that — WorkloadCache hands every run its own
+ * private copy of the image, and copies start with a cold memo.
  */
 class MemoryImage
 {
@@ -29,6 +36,28 @@ class MemoryImage
     static constexpr uint64_t PAGE_BITS = 16;
     static constexpr uint64_t PAGE_SIZE = 1ull << PAGE_BITS;
     static constexpr uint64_t PAGE_MASK = PAGE_SIZE - 1;
+
+    MemoryImage() = default;
+    MemoryImage(const MemoryImage &o) : pages_(o.pages_) {}
+    MemoryImage(MemoryImage &&o) noexcept : pages_(std::move(o.pages_)) {}
+
+    MemoryImage &
+    operator=(const MemoryImage &o)
+    {
+        pages_ = o.pages_;
+        cached_page_no_ = NO_PAGE;
+        cached_page_ = nullptr;
+        return *this;
+    }
+
+    MemoryImage &
+    operator=(MemoryImage &&o) noexcept
+    {
+        pages_ = std::move(o.pages_);
+        cached_page_no_ = NO_PAGE;
+        cached_page_ = nullptr;
+        return *this;
+    }
 
     uint64_t
     read64(uint64_t addr) const
@@ -75,19 +104,33 @@ class MemoryImage
   private:
     using Page = std::vector<uint8_t>;
 
+    static constexpr uint64_t NO_PAGE = ~0ull;
+
     const Page *
     findPage(uint64_t page_no) const
     {
+        if (page_no == cached_page_no_)
+            return cached_page_;
         auto it = pages_.find(page_no);
-        return it == pages_.end() ? nullptr : &it->second;
+        if (it == pages_.end())
+            return nullptr;
+        // unordered_map references are stable across rehash, so the
+        // memo survives later insertions.
+        cached_page_no_ = page_no;
+        cached_page_ = const_cast<Page *>(&it->second);
+        return cached_page_;
     }
 
     Page &
     getPage(uint64_t page_no)
     {
+        if (page_no == cached_page_no_)
+            return *cached_page_;
         auto it = pages_.find(page_no);
         if (it == pages_.end())
             it = pages_.emplace(page_no, Page(PAGE_SIZE, 0)).first;
+        cached_page_no_ = page_no;
+        cached_page_ = &it->second;
         return it->second;
     }
 
@@ -125,6 +168,8 @@ class MemoryImage
     }
 
     std::unordered_map<uint64_t, Page> pages_;
+    mutable uint64_t cached_page_no_ = NO_PAGE;
+    mutable Page *cached_page_ = nullptr;
 };
 
 } // namespace vrsim

@@ -77,16 +77,12 @@ buildTraits()
     return t;
 }
 
-const std::array<OpTraits, size_t(Op::NumOps)> TRAITS = buildTraits();
-
 } // namespace
 
-const OpTraits &
-opTraits(Op op)
+namespace detail
 {
-    panicIfNot(size_t(op) < size_t(Op::NumOps), "bad opcode");
-    return TRAITS[size_t(op)];
-}
+const std::array<OpTraits, size_t(Op::NumOps)> OP_TRAITS = buildTraits();
+} // namespace detail
 
 std::string
 opName(Op op)

@@ -10,8 +10,11 @@
 #ifndef VRSIM_ISA_OPCODES_HH
 #define VRSIM_ISA_OPCODES_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
+
+#include "sim/logging.hh"
 
 namespace vrsim
 {
@@ -112,8 +115,24 @@ struct OpTraits
     FuClass fu = FuClass::None;
 };
 
-/** Look up the static traits of an opcode. */
-const OpTraits &opTraits(Op op);
+namespace detail
+{
+/** The traits table, indexed by opcode. Defined in opcodes.cc. */
+extern const std::array<OpTraits, size_t(Op::NumOps)> OP_TRAITS;
+} // namespace detail
+
+/**
+ * Look up the static traits of an opcode. Inline: this runs several
+ * times per simulated instruction on the hot dispatch path
+ * (docs/performance.md).
+ */
+inline const OpTraits &
+opTraits(Op op)
+{
+    if (size_t(op) >= size_t(Op::NumOps)) [[unlikely]]
+        panic("bad opcode");
+    return detail::OP_TRAITS[size_t(op)];
+}
 
 /** Mnemonic for disassembly. */
 std::string opName(Op op);

@@ -12,13 +12,17 @@ CacheArray::CacheArray(std::string name, const CacheConfig &cfg)
     panicIfNot(lines >= cfg.assoc, "cache smaller than one set");
     num_sets_ = lines / cfg.assoc;
     panicIfNot(num_sets_ > 0, "cache must have at least one set");
-    sets_.assign(num_sets_, std::vector<Line>(cfg.assoc));
+    if ((num_sets_ & (num_sets_ - 1)) == 0)
+        set_mask_ = num_sets_ - 1;
+    lines_.assign(size_t(num_sets_) * cfg.assoc, Line{});
 }
 
 CacheArray::Line *
 CacheArray::lookup(uint64_t line_addr, Cycle cycle)
 {
-    for (Line &l : set(line_addr)) {
+    Line *s = set(line_addr);
+    for (uint32_t w = 0; w < cfg_.assoc; w++) {
+        Line &l = s[w];
         if (l.valid && l.tag == line_addr) {
             if (cfg_.repl == ReplPolicy::Lru)
                 l.last_use = cycle;
@@ -29,27 +33,27 @@ CacheArray::lookup(uint64_t line_addr, Cycle cycle)
 }
 
 CacheArray::Line *
-CacheArray::victimIn(std::vector<Line> &s)
+CacheArray::victimIn(Line *s)
 {
-    for (Line &l : s)
-        if (!l.valid)
-            return &l;
+    for (uint32_t w = 0; w < cfg_.assoc; w++)
+        if (!s[w].valid)
+            return &s[w];
     switch (cfg_.repl) {
       case ReplPolicy::Lru:
       case ReplPolicy::Fifo: {
         // FIFO: last_use is only written at insertion, so the oldest
         // insertion is evicted; LRU refreshes it on every hit.
         Line *v = &s[0];
-        for (Line &l : s)
-            if (l.last_use < v->last_use)
-                v = &l;
+        for (uint32_t w = 0; w < cfg_.assoc; w++)
+            if (s[w].last_use < v->last_use)
+                v = &s[w];
         return v;
       }
       case ReplPolicy::Random: {
         rand_state_ ^= rand_state_ << 13;
         rand_state_ ^= rand_state_ >> 7;
         rand_state_ ^= rand_state_ << 17;
-        return &s[rand_state_ % s.size()];
+        return &s[rand_state_ % cfg_.assoc];
       }
     }
     panic("unknown replacement policy");
@@ -58,9 +62,10 @@ CacheArray::victimIn(std::vector<Line> &s)
 const CacheArray::Line *
 CacheArray::peek(uint64_t line_addr) const
 {
-    for (const Line &l : set(line_addr)) {
-        if (l.valid && l.tag == line_addr)
-            return &l;
+    const Line *s = set(line_addr);
+    for (uint32_t w = 0; w < cfg_.assoc; w++) {
+        if (s[w].valid && s[w].tag == line_addr)
+            return &s[w];
     }
     return nullptr;
 }
@@ -69,8 +74,9 @@ std::optional<CacheArray::Line>
 CacheArray::insert(uint64_t line_addr, Cycle cycle, Cycle fill_time,
                    Requester origin)
 {
-    auto &s = set(line_addr);
-    for (Line &l : s) {
+    Line *s = set(line_addr);
+    for (uint32_t w = 0; w < cfg_.assoc; w++) {
+        Line &l = s[w];
         if (l.valid && l.tag == line_addr) {
             // Refill of a present line: just refresh metadata.
             l.fill_time = std::min(l.fill_time, fill_time);
@@ -95,9 +101,10 @@ CacheArray::insert(uint64_t line_addr, Cycle cycle, Cycle fill_time,
 void
 CacheArray::invalidate(uint64_t line_addr)
 {
-    for (Line &l : set(line_addr)) {
-        if (l.valid && l.tag == line_addr) {
-            l.valid = false;
+    Line *s = set(line_addr);
+    for (uint32_t w = 0; w < cfg_.assoc; w++) {
+        if (s[w].valid && s[w].tag == line_addr) {
+            s[w].valid = false;
             return;
         }
     }

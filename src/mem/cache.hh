@@ -54,9 +54,15 @@ class MshrBank
     /** Number of registers busy around @p cycle. */
     uint32_t busyAt(Cycle cycle) const { return res_.busyAt(cycle); }
 
+    /** Release calendar history wholly before @p cycle. */
+    void retireBefore(Cycle cycle) { res_.retireBefore(cycle); }
+
     uint32_t size() const { return entries_; }
     uint64_t allocations() const { return res_.allocations(); }
     uint64_t stalls() const { return res_.stalls(); }
+
+    /** Calendar buckets examined while searching (perf telemetry). */
+    uint64_t probes() const { return res_.probes(); }
 
     /** Sum over time of busy registers (cycles x registers). */
     uint64_t busyIntegral() const { return res_.busyIntegral(); }
@@ -114,18 +120,30 @@ class CacheArray
     const std::string &name() const { return name_; }
 
   private:
-    std::vector<Line> &set(uint64_t line_addr)
-    { return sets_[line_addr % num_sets_]; }
-    const std::vector<Line> &set(uint64_t line_addr) const
-    { return sets_[line_addr % num_sets_]; }
+    // The ways of one set sit contiguously in a single flat array
+    // (no per-set vector indirection), and the set index is a mask
+    // when num_sets is a power of two — which every shipped geometry
+    // is — instead of a modulo (a hardware divide per probe).
+    uint64_t
+    setIndex(uint64_t line_addr) const
+    {
+        return set_mask_ ? (line_addr & set_mask_)
+                         : (line_addr % num_sets_);
+    }
+
+    Line *set(uint64_t line_addr)
+    { return &lines_[setIndex(line_addr) * cfg_.assoc]; }
+    const Line *set(uint64_t line_addr) const
+    { return &lines_[setIndex(line_addr) * cfg_.assoc]; }
 
     /** Pick the victim way per the configured policy. */
-    Line *victimIn(std::vector<Line> &set);
+    Line *victimIn(Line *set);
 
     std::string name_;
     CacheConfig cfg_;
     uint32_t num_sets_;
-    std::vector<std::vector<Line>> sets_;
+    uint64_t set_mask_ = 0;  //!< num_sets - 1 when a power of two
+    std::vector<Line> lines_;  //!< num_sets * assoc, set-major
     uint64_t rand_state_ = 0x2545F4914F6CDD1Dull;  //!< Random policy
 };
 

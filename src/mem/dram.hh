@@ -51,6 +51,12 @@ class DramModel
     uint64_t queueDelay() const { return queue_delay_; }
     Cycle serviceCycles() const { return service_cycles_; }
 
+    /** Release channel-calendar history wholly before @p cycle. */
+    void retireBefore(Cycle cycle) { channel_.retireBefore(cycle); }
+
+    /** Calendar buckets examined while searching (perf telemetry). */
+    uint64_t probes() const { return channel_.probes(); }
+
     void
     reset()
     {

@@ -170,6 +170,36 @@ class MemoryHierarchy
     /** L1D MSHR bank (for occupancy queries by the runahead engines). */
     const MshrBank &l1Mshrs() const { return l1_mshrs_; }
 
+    /**
+     * Release calendar history wholly before @p cycle across every
+     * capacity-over-time resource (L1 ports, MSHR banks, DRAM
+     * channel). Called periodically by the core with its dispatch
+     * horizon: every future access — demand, store drain, stride/IMP
+     * prefetch, or a runahead engine's — issues at or after the
+     * dispatch point that triggers it, so nothing ever allocates
+     * below the horizon (the calendars panic if that contract is
+     * broken). See docs/performance.md.
+     */
+    void
+    retireHistory(Cycle cycle)
+    {
+        l1_ports_.retireBefore(cycle);
+        l1_mshrs_.retireBefore(cycle);
+        l2_mshrs_.retireBefore(cycle);
+        l3_mshrs_.retireBefore(cycle);
+        dram_.retireBefore(cycle);
+    }
+
+    /** Total calendar buckets examined across the hierarchy's
+     *  resources (bounded by the cycle-skip regression test). */
+    uint64_t
+    calendarProbes() const
+    {
+        return l1_ports_.probes() + l1_mshrs_.probes() +
+               l2_mshrs_.probes() + l3_mshrs_.probes() +
+               dram_.probes();
+    }
+
     const MemStats &stats() const { return stats_; }
     const StrideRpt &strideRpt() const { return stride_rpt_; }
     DramModel &dram() { return dram_; }

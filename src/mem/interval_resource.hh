@@ -9,15 +9,23 @@
  * earlier traffic. IntervalResource instead tracks per-time-bucket
  * occupancy, so reservations can be made at any point on the
  * timeline.
+ *
+ * Storage and search live in sim/event_calendar.hh: instead of
+ * polling bucket by bucket through a saturated backlog, allocation
+ * skips straight to the next possibly-free bucket (docs/
+ * performance.md). The placement returned is identical to the
+ * linear scan's by construction — every skipped start bucket is
+ * known full, hence infeasible — and VRSIM_CYCLE_SKIP=0 restores
+ * the linear reference scan for differential testing.
  */
 
 #ifndef VRSIM_MEM_INTERVAL_RESOURCE_HH
 #define VRSIM_MEM_INTERVAL_RESOURCE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "mem/request.hh"
+#include "sim/event_calendar.hh"
 #include "sim/logging.hh"
 
 namespace vrsim
@@ -31,7 +39,7 @@ class IntervalResource
 {
   public:
     IntervalResource(uint32_t capacity, uint32_t bucket_shift)
-        : capacity_(capacity), shift_(bucket_shift)
+        : capacity_(capacity), shift_(bucket_shift), cal_(capacity)
     {
         panicIfNot(capacity > 0, "resource needs capacity");
     }
@@ -39,6 +47,12 @@ class IntervalResource
     /**
      * Reserve the resource for `duration` cycles at the earliest
      * start >= `earliest` with a free slot throughout.
+     *
+     * First-fit over start buckets, exactly as the historical linear
+     * scan: a candidate window is abandoned as soon as it contains a
+     * full bucket, and the start jumps past that bucket's known-full
+     * run (all intermediate starts are infeasible because each is
+     * itself a full bucket or spans one).
      *
      * @return the start cycle of the reservation
      */
@@ -50,22 +64,26 @@ class IntervalResource
         Cycle first_b = earliest >> shift_;
         Cycle last_b = (earliest + duration - 1) >> shift_;
         while (true) {
+            Cycle f = cal_.nextFree(first_b);
+            if (f != first_b) {
+                first_b = f;
+                last_b = ((first_b << shift_) + duration - 1) >> shift_;
+            }
             bool ok = true;
-            for (Cycle b = first_b; b <= last_b; b++) {
-                auto it = used_.find(b);
-                if (it != used_.end() && it->second >= capacity_) {
-                    ok = false;
-                    first_b = b + 1;
+            for (Cycle b = first_b + 1; b <= last_b; b++) {
+                Cycle g = cal_.nextFree(b);
+                if (g != b) {
+                    first_b = g;
                     last_b = ((first_b << shift_) + duration - 1)
                              >> shift_;
+                    ok = false;
                     break;
                 }
             }
             if (ok)
                 break;
         }
-        for (Cycle b = first_b; b <= last_b; b++)
-            ++used_[b];
+        cal_.fill(first_b, last_b);
         Cycle start = std::max(earliest, first_b << shift_);
         // Guardrail: the busy integral is monotone by construction;
         // a decrease means the duration arithmetic wrapped (e.g. a
@@ -86,13 +104,28 @@ class IntervalResource
     uint32_t
     busyAt(Cycle cycle) const
     {
-        auto it = used_.find(cycle >> shift_);
-        return it == used_.end() ? 0 : it->second;
+        return cal_.at(cycle >> shift_);
     }
+
+    /**
+     * Release calendar storage for history wholly before @p cycle.
+     * The caller promises no future allocation starts below this
+     * horizon (the core's dispatch cycle is such a floor: every
+     * access — demand, store drain, prefetch, or runahead — issues at
+     * or after the dispatch point that triggered it). Violations
+     * panic instead of mis-timing.
+     */
+    void retireBefore(Cycle cycle) { cal_.retireBefore(cycle >> shift_); }
 
     uint32_t capacity() const { return capacity_; }
     uint64_t allocations() const { return allocations_; }
     uint64_t stalls() const { return stalls_; }
+
+    /** Buckets examined while searching (regression-test bound). */
+    uint64_t probes() const { return cal_.probes(); }
+
+    /** Buckets skipped without examination (cycle-skip telemetry). */
+    uint64_t skips() const { return cal_.skips(); }
 
     /** Total reserved cycles (occupancy integral) for MLP stats. */
     uint64_t busyIntegral() const { return busy_integral_; }
@@ -100,7 +133,7 @@ class IntervalResource
     void
     reset()
     {
-        used_.clear();
+        cal_.clear();
         busy_integral_ = 0;
         allocations_ = 0;
         stalls_ = 0;
@@ -109,7 +142,7 @@ class IntervalResource
   private:
     uint32_t capacity_;
     uint32_t shift_;
-    std::unordered_map<Cycle, uint32_t> used_;
+    EventCalendar cal_;
     uint64_t busy_integral_ = 0;
     uint64_t allocations_ = 0;
     uint64_t stalls_ = 0;

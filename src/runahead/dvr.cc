@@ -319,6 +319,10 @@ DecoupledVectorRunahead::spawnNested(const StepInfo &si,
     // path, skipping the remaining inner-loop iterations (§4.3.1).
     CpuState ndm = after;
     ndm.pc = info.branch_pc + 1;
+    // All NDM/outer/inner-lane accesses below issue at >= cycle, the
+    // triggering stall's dispatch point: the calendar-horizon floor
+    // (docs/performance.md) that lets the cycle-skipping calendars
+    // retire history behind the core.
     Cycle t = cycle + 1;
     const Inst *outer_inst = nullptr;
     uint64_t outer_addr = 0;

@@ -158,6 +158,10 @@ LaneExecutor::run(std::vector<Lane> &lanes, uint32_t stride_pc,
 
             if (si.is_mem && !si.is_store) {
                 Cycle copy = vectorized ? vir.copyOf(j, active) : 0;
+                // t0 >= the spawning stall's dispatch point: lane
+                // traffic stays at or after the calendar horizon
+                // (docs/performance.md), so the shared calendars can
+                // retire history instead of being polled while idle.
                 Cycle issue = std::max(t0 + copy, lane.ready);
                 AccessResult res = hier_.access(si.addr, 0, issue,
                                                 false,

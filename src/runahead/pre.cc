@@ -85,6 +85,11 @@ PreEngine::onFullRobStall(Cycle stall_start, Cycle head_fill,
                     ready[inst.rd] = opready + cfg_.dram.latency;
                 continue;
             }
+            // Issues at opready >= the triggering stall's dispatch
+            // point — the calendar-horizon floor every requester
+            // honours (docs/performance.md), which is what lets the
+            // cycle-skipping calendars retire history behind the
+            // core instead of being polled while idle.
             AccessResult res = hier_.access(si.addr, 0, opready, false,
                                             Requester::Runahead);
             ++stats_.prefetches;

@@ -111,6 +111,9 @@ VectorRunahead::onFullRobStall(Cycle stall_start, Cycle head_fill,
         lane.ctx = scan;
         lane.ctx.pc = hit.next_pc;
         uint64_t addr = uint64_t(int64_t(base) + stride * int64_t(j + 1));
+        // gather0 >= the triggering stall's dispatch point, so every
+        // lane access honours the calendar-horizon floor
+        // (docs/performance.md) and never lands in retired history.
         Cycle issue = gather0 + vir.copyOf(j, all);
         AccessResult res = hier_.access(addr, 0, issue, false,
                                         Requester::Runahead);

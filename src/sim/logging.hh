@@ -297,6 +297,18 @@ panicIfNot(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Literal-message overload: hot-path assertions pass string literals,
+ * and the std::string conversion must not be paid on the
+ * passing-check path (it would be constructed before the branch).
+ */
+inline void
+panicIfNot(bool cond, const char *msg)
+{
+    if (!cond) [[unlikely]]
+        panic(std::string(msg));
+}
+
 } // namespace vrsim
 
 #endif // VRSIM_SIM_LOGGING_HH

@@ -216,7 +216,17 @@ printUsage(std::ostream &os)
         "             [--profile] [--replay BUNDLE]\n"
         "             [--checkpoint FILE] [--resume] [--paper-caches]\n"
         "             [--format table|csv|json] [--csv] [--list]\n"
-        "             [--help]\n";
+        "             [--help]\n"
+        "\n"
+        "exit codes (docs/robustness.md):\n"
+        "  0      success\n"
+        "  1      fatal error, or failed run(s) under --keep-going\n"
+        "  2      usage: unknown flag or missing value\n"
+        "  70     internal panic, watchdog hang, or digest divergence\n"
+        "  124    cell exceeded its --cell-timeout deadline "
+        "(--isolation process)\n"
+        "  128+N  cell child died by signal N "
+        "(--isolation process)\n";
 }
 
 [[noreturn]] void
