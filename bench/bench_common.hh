@@ -14,6 +14,12 @@
  *   VRSIM_ROI     instruction budget per run (default 150000)
  *   VRSIM_WARMUP  leading instructions excluded from stats
  *                 (default 25000; caches/predictors stay warm)
+ *   VRSIM_FF_INSTS  functionally fast-forward this many instructions
+ *                 before every point's ROI (docs/sampling.md)
+ *   VRSIM_SAMPLE  SMARTS interval sampling as "N:M[:W]" (measure N of
+ *                 every M instructions, W detailed-warm); replaces
+ *                 VRSIM_WARMUP when set (the per-window warm
+ *                 instructions take its place)
  *   VRSIM_JOBS    sweep worker threads (default 1; 0 = all cores)
  *   VRSIM_CHECK_DIGESTS  when nonzero, differentially check every
  *                 technique column against its OoO baseline column
@@ -66,6 +72,7 @@ struct BenchEnv
     HpcDbScale hscale;
     uint64_t roi = 150'000;
     uint64_t warmup = 25'000;
+    SamplingPlan sampling;
     SystemConfig cfg = SystemConfig::benchScale();
 
     static BenchEnv
@@ -77,6 +84,17 @@ struct BenchEnv
         e.hscale.elements = envU64("VRSIM_ELEMS", 1 << 16);
         e.roi = envU64("VRSIM_ROI", 150'000);
         e.warmup = envU64("VRSIM_WARMUP", 25'000);
+        e.sampling.ff_insts = envU64("VRSIM_FF_INSTS", 0);
+        if (const char *s = std::getenv("VRSIM_SAMPLE")) {
+            try {
+                SamplingPlan sp = SamplingPlan::parse(s);
+                sp.ff_insts = e.sampling.ff_insts;
+                e.sampling = sp;
+            } catch (const FatalError &err) {
+                std::cerr << err.what() << "\n";
+                std::exit(1);
+            }
+        }
         return e;
     }
 
@@ -85,7 +103,11 @@ struct BenchEnv
     plan() const
     {
         RunPlan p(cfg);
-        p.scale(gscale, hscale).roi(roi).warmup(warmup);
+        // Interval sampling replaces the global warmup: each measured
+        // window gets its own detailed-warm instructions instead.
+        p.scale(gscale, hscale).roi(roi)
+            .warmup(sampling.sampling() ? 0 : warmup)
+            .sample(sampling);
         return p;
     }
 

@@ -107,48 +107,140 @@ if [ "$rows" -ne 8 ]; then
 fi
 echo "chaos stage: parent survived, all 8 cells accounted for (ASan)"
 
+echo "=== sampling stage (ASan build, digest identity + accuracy) ==="
+# Fast-forwarded and interval-sampled runs must commit the exact
+# architectural stream a full-detail run does (docs/sampling.md):
+# the --digest-json files from all three execution modes over the
+# same 60K-instruction stream must be byte-identical. Checked for a
+# plain OoO column and for VR, whose runahead engine must not
+# perturb the committed stream either way.
+SAMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$REPRO_DIR" "$CHAOS_CSV" "$SAMP_DIR"' EXIT
+for tech in ooo vr; do
+    build-ci-asan/tools/vrsim --workload camel --technique "$tech" \
+        --roi 60000 --elems 4096 \
+        --digest-json "$SAMP_DIR/full_$tech.json" \
+        --format csv >/dev/null
+    build-ci-asan/tools/vrsim --workload camel --technique "$tech" \
+        --ff-insts 20000 --roi 40000 --elems 4096 \
+        --digest-json "$SAMP_DIR/ff_$tech.json" \
+        --format csv >/dev/null
+    build-ci-asan/tools/vrsim --workload camel --technique "$tech" \
+        --sample 2000:10000:3000 --roi 60000 --elems 4096 \
+        --digest-json "$SAMP_DIR/samp_$tech.json" \
+        --format csv >/dev/null
+    cmp "$SAMP_DIR/full_$tech.json" "$SAMP_DIR/ff_$tech.json"
+    cmp "$SAMP_DIR/full_$tech.json" "$SAMP_DIR/samp_$tech.json"
+done
+echo "sampling stage: ff/sampled digests byte-identical to full detail"
+
+# Accuracy: a sampled VR run's CPI must land within its own reported
+# 95% CI of the full-detail reference (the EXPERIMENTS.md contract;
+# the integration test covers all 8 techniques, this exercises the
+# CLI end to end under ASan). The check runs in the CPI domain — the
+# quantity SMARTS estimates (docs/sampling.md).
+build-ci-asan/tools/vrsim --workload camel --technique vr \
+    --sample 20000:200000:50000 --roi 1600000 \
+    --stats-json "$SAMP_DIR/samp_acc.json" --format csv >/dev/null
+build-ci-asan/tools/vrsim --workload camel --technique vr \
+    --roi 1600000 --warmup 100000 \
+    --stats-json "$SAMP_DIR/full_acc.json" --format csv >/dev/null
+python3 - "$SAMP_DIR" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+samp = json.load(open(os.path.join(d, "samp_acc.json")))[0]["stats"]
+full = json.load(open(os.path.join(d, "full_acc.json")))[0]["stats"]
+mean, ci = samp["sample.cpi"]["mean"], samp["sample.cpi"]["ci95"]
+ref = full["core.cycles"] / full["core.instructions"]
+assert abs(mean - ref) <= ci + 1e-9, (
+    f"sampled CPI {mean:.4f} +- {ci:.4f} vs full-detail {ref:.4f}: "
+    "outside its own 95% CI (docs/sampling.md)")
+print(f"sampling stage: sampled CPI {mean:.3f} +- {ci:.3f} covers "
+      f"full-detail {ref:.3f} (ASan)")
+EOF
+
 echo "=== throughput baseline (plain build, self-profiler) ==="
 # Publish the host-side simulation throughput the plain build achieves
 # (PR 4 self-profiler host.* columns) as BENCH_throughput.json — two
 # specs so single-workload noise can't masquerade as a trend — and
 # gate on it: a >20% camel:OoO regression against the committed file
 # fails CI unless VRSIM_PERF_OVERRIDE=1 (docs/performance.md).
+#
+# De-noised gate: each spec runs 5 trials at a 200K-instruction ROI
+# and the ratchet takes the best trial per point — single short
+# trials were dominated by scheduler noise and fired the gate on
+# phantom regressions. The functional fast-forward rate (the
+# docs/sampling.md >=50 Minsts/s floor) is measured the same way
+# (best of 3 x 50M instructions) and published as the top-level
+# "ff" entry.
 THRU_DIR="$(mktemp -d)"
-trap 'rm -rf "$REPRO_DIR" "$CHAOS_CSV" "$THRU_DIR"' EXIT
-for spec in camel kangaroo; do
-    VRSIM_JOBS=2 build-ci/tools/vrsim \
-        --workload "$spec" --all-techniques --profile \
-        --stats-json "$THRU_DIR/$spec.json" \
-        --roi 20000 --warmup 2000 --nodes 4096 --degree 8 \
-        --elems 4096 --format csv >/dev/null 2>&1
+trap 'rm -rf "$REPRO_DIR" "$CHAOS_CSV" "$SAMP_DIR" "$THRU_DIR"' EXIT
+for trial in 1 2 3 4 5; do
+    for spec in camel kangaroo; do
+        VRSIM_JOBS=2 build-ci/tools/vrsim \
+            --workload "$spec" --all-techniques --profile \
+            --stats-json "$THRU_DIR/$spec.$trial.json" \
+            --roi 200000 --warmup 20000 --nodes 4096 --degree 8 \
+            --elems 16384 --format csv >/dev/null 2>&1
+    done
+done
+for trial in 1 2 3; do
+    build-ci/tools/vrsim --workload camel --technique ooo \
+        --ff-insts 50000000 --roi 200000 --elems 2097152 --profile \
+        --stats-json "$THRU_DIR/ff.$trial.json" \
+        --format csv >/dev/null 2>&1
 done
 python3 - "$THRU_DIR" BENCH_throughput.json <<'EOF'
 import datetime, json, os, subprocess, sys
 thru_dir, out_path = sys.argv[1], sys.argv[2]
-points = {}
+points, ff = {}, None
 for name in sorted(os.listdir(thru_dir)):
     for ent in json.load(open(os.path.join(thru_dir, name))):
         stats = ent.get("stats", {})
         if "host.seconds" not in stats:
             continue
-        points[ent["point"]] = {
-            "host_seconds": stats["host.seconds"],
-            "minsts_per_sec": stats["host.minsts_per_sec"],
-            "simulated_insts": int(stats["core.instructions"]),
-        }
+        if name.startswith("ff."):
+            rate = stats["host.ff_minsts_per_sec"]
+            if ff is None or rate > ff["minsts_per_sec"]:
+                ff = {
+                    "ff_insts": int(stats["sample.ff_insts"]),
+                    "host_seconds": stats["host.ff_seconds"],
+                    "minsts_per_sec": rate,
+                }
+            continue
+        cur = points.get(ent["point"])
+        if cur is None or stats["host.minsts_per_sec"] > \
+                cur["minsts_per_sec"]:
+            points[ent["point"]] = {
+                "host_seconds": stats["host.seconds"],
+                "minsts_per_sec": stats["host.minsts_per_sec"],
+                "simulated_insts": int(stats["core.instructions"]),
+            }
 assert points, "no host.* columns in --profile --stats-json output"
+assert ff, "no host.ff_* columns in the --ff-insts profile output"
+
+override = os.environ.get("VRSIM_PERF_OVERRIDE") == "1"
 
 # Regression gate: the committed file is a ratchet on camel:OoO.
 new_ooo = points["camel:OoO"]["minsts_per_sec"]
 if os.path.exists(out_path):
     old = json.load(open(out_path)).get("points", {}).get("camel:OoO")
-    if (old and os.environ.get("VRSIM_PERF_OVERRIDE") != "1"
+    if (old and not override
             and new_ooo < 0.8 * old["minsts_per_sec"]):
         sys.exit(
             f"throughput gate: camel:OoO {new_ooo:.3f} Minsts/s is "
             f">20% below committed {old['minsts_per_sec']:.3f}; rerun "
             "with VRSIM_PERF_OVERRIDE=1 to accept a justified slowdown "
             "(docs/performance.md)")
+
+# Absolute floor on the functional fast-forward path: interval
+# sampling only pays off while ff runs at native-loop speed.
+if not override and ff["minsts_per_sec"] < 50:
+    sys.exit(
+        f"throughput gate: functional fast-forward at "
+        f"{ff['minsts_per_sec']:.2f} Minsts/s is below the 50 Minsts/s "
+        "floor (docs/sampling.md); rerun with VRSIM_PERF_OVERRIDE=1 "
+        "to accept a justified slowdown")
 
 try:
     commit = subprocess.check_output(
@@ -160,11 +252,14 @@ out = {
     "commit": commit,
     "date": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%d"),
+    "ff": ff,
+    "trials": {"detailed": 5, "ff": 3, "pick": "best"},
     "unit": "simulated Minsts per host second",
     "points": points,
 }
 json.dump(out, open(out_path, "w"), indent=2, sort_keys=True)
-print(f"throughput baseline: {len(points)} points ->", out_path)
+print(f"throughput baseline: {len(points)} points + ff "
+      f"{ff['minsts_per_sec']:.1f} Minsts/s ->", out_path)
 EOF
 
 echo "=== docs & observability stage ==="
@@ -232,10 +327,37 @@ for key in $(python3 -c \
 done
 echo "docs check: docs/performance.md covers skip knobs + BENCH schema"
 
+# Sampling doc (docs/sampling.md): the CLI flags and environment
+# knobs the sampling subsystem exposes must be documented there, and
+# the documented knobs must still exist in the tree (drift guard).
+for flag in ff-insts sample digest-json; do
+    if ! grep -q -- "--$flag" docs/sampling.md; then
+        echo "docs check: --$flag undocumented in docs/sampling.md" >&2
+        exit 1
+    fi
+    if ! echo "$help_text" | grep -q -- "--$flag"; then
+        echo "docs check: --$flag documented in docs/sampling.md but" \
+            "missing from vrsim --help" >&2
+        exit 1
+    fi
+done
+for knob in VRSIM_FF_INSTS VRSIM_SAMPLE; do
+    if ! grep -q "$knob" docs/sampling.md; then
+        echo "docs check: $knob undocumented in docs/sampling.md" >&2
+        exit 1
+    fi
+    if ! grep -q "$knob" bench/bench_common.hh; then
+        echo "docs check: $knob knob gone from bench/bench_common.hh" \
+            "but still documented" >&2
+        exit 1
+    fi
+done
+echo "docs check: docs/sampling.md covers sampling flags + env knobs"
+
 # Trace schema end-to-end under ASan: emit a real trace, convert it,
 # and require valid Chrome-tracing JSON out the other side.
 TRACE_DIR="$(mktemp -d)"
-trap 'rm -rf "$REPRO_DIR" "$TRACE_DIR"' EXIT
+trap 'rm -rf "$REPRO_DIR" "$CHAOS_CSV" "$SAMP_DIR" "$THRU_DIR" "$TRACE_DIR"' EXIT
 build-ci-asan/tools/vrsim --workload camel --technique vr \
     --roi 6000 --warmup 500 --nodes 2048 --degree 8 \
     --trace "all:$TRACE_DIR/t.ndjson" --format csv >/dev/null 2>&1

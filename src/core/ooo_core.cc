@@ -104,12 +104,27 @@ CoreStats
 OooCore::run(const CpuState &init, uint64_t max_insts,
              uint64_t warmup_insts, const std::function<void()> &at_warmup)
 {
+    CpuState state = init;
+    Cycle clock = 0;
+    return runFrom(state, max_insts, warmup_insts, clock, at_warmup);
+}
+
+CoreStats
+OooCore::runFrom(CpuState &state, uint64_t max_insts,
+                 uint64_t warmup_insts, Cycle &clock,
+                 const std::function<void()> &at_warmup)
+{
     const CoreConfig &c = cfg_.core;
     const bool oracle = cfg_.technique == Technique::Oracle;
     uint64_t budget = max_insts ? max_insts : cfg_.max_insts;
+    // Segmented (sampled) runs re-enter with the clock where the last
+    // window (or warming fast-forward) left it: every timestamp below
+    // is measured against this base, so the reported cycles cover this
+    // window only while cache recency and calendar reservations stay
+    // monotone across windows.
+    const Cycle base = clock;
 
     CoreStats st;
-    CpuState state = init;
 
     // Writeback time per architectural register, padded to the full
     // uint8_t range so REG_NONE (0xFF) indexes a permanently-zero
@@ -148,18 +163,18 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
     uint32_t lq_idx = 0;   // load_count % c.load_queue
     uint32_t sq_idx = 0;   // store_count % c.store_queue
 
-    Cycle disp_cycle = 0;
+    Cycle disp_cycle = base;
     uint32_t disp_count = 0;
-    Cycle fetch_resume = 0;
+    Cycle fetch_resume = base;
     uint64_t last_iline = UINT64_MAX;  // L1I same-line fast path
-    Cycle last_iline_cycle = 0;
-    Cycle last_commit = 0;
-    Cycle commit_floor = 0;
+    Cycle last_iline_cycle = base;
+    Cycle last_commit = base;
+    Cycle commit_floor = base;
     uint64_t last_trigger_head = UINT64_MAX;
-    Cycle last_cycle = 0;
+    Cycle last_cycle = base;
 
     CoreStats warm;
-    Cycle warm_cycle = 0;
+    Cycle warm_cycle = base;
 
     // Forward-progress watchdog: how the run looked when the snapshot
     // is taken at expiry. ROB occupancy = entries whose commit is
@@ -186,7 +201,7 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
         // of spinning forever. A budgeted run terminates by
         // construction, so only the per-instruction gap check below
         // applies there.
-        if (watchdog && budget == 0 && last_cycle > watchdog)
+        if (watchdog && budget == 0 && last_cycle - base > watchdog)
             hang("unbounded run passed " + std::to_string(watchdog) +
                      " cycles without halting (raise "
                      "--watchdog-cycles for longer programs)",
@@ -486,18 +501,11 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
 
         // Feed the differential oracle before the engine hook: the
         // engine may open a speculation scope, and retirement must be
-        // recorded strictly outside transient execution.
-        if (digest_) {
-            CommitRecord cr;
-            cr.pc = si.pc;
-            cr.writes_reg = inst.writesDst();
-            cr.reg = inst.rd;
-            cr.reg_value = si.dst_value;
-            cr.is_store = si.is_store;
-            cr.store_addr = si.addr;
-            cr.store_value = si.dst_value;
-            digest_->retire(cr);
-        }
+        // recorded strictly outside transient execution. The record is
+        // built by the same helper the functional fast-forward loop
+        // uses, so both paths hash identically (docs/sampling.md).
+        if (digest_)
+            digest_->retire(commitRecordOf(si));
 
         if (engine_)
             engine_->onInstruction(si, state, dispatch);
@@ -538,7 +546,8 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
     }
 
     st.instructions = i;
-    st.cycles = last_cycle;
+    st.cycles = last_cycle - base;
+    clock = last_cycle;
 
     if (warmup_insts && i > warmup_insts) {
         // Report the region of interest only; timing state (caches,
@@ -579,6 +588,55 @@ OooCore::run(const CpuState &init, uint64_t max_insts,
         st.stall_sq -= warm.stall_sq;
     }
     return st;
+}
+
+uint64_t
+OooCore::fastForward(CpuState &state, uint64_t max_insts, Cycle &clock,
+                     bool warm)
+{
+    if (!warm && !digest_)
+        return vrsim::fastForward(prog_, state, image_, max_insts);
+    if (!warm)
+        return vrsim::fastForward(prog_, state, image_, max_insts,
+                                  digest_);
+
+    // Functional warming: the architectural stream drives the same
+    // structures the fetch/commit path would touch — L1I tags (with
+    // the same-line memo and next-line prefetch of the detailed
+    // path), the branch predictor (predict-then-update, as predict()
+    // latches state update() consumes), the BTB, and the data-cache
+    // tags via MemoryHierarchy::warmAccess — without any port, MSHR,
+    // DRAM, or statistics traffic. The clock ticks once per
+    // instruction so LRU recency established here stays ordered
+    // against the surrounding detailed windows.
+    uint64_t n = 0;
+    uint64_t last_iline = UINT64_MAX;
+    for (; n < max_insts && !state.halted; ++n) {
+        StepInfo si = step(prog_, state, image_);
+        ++clock;
+        uint64_t iline = l1i_.lineAddr(uint64_t(si.pc) * 4);
+        if (iline != last_iline) {
+            if (!l1i_.lookup(iline, clock))
+                l1i_.insert(iline, clock, clock, Requester::Demand);
+            if (!l1i_.peek(iline + 1))
+                l1i_.insert(iline + 1, clock, clock,
+                            Requester::StridePf);
+            last_iline = iline;
+        }
+        if (si.is_branch) {
+            if (si.inst->isCondBranch()) {
+                bp_.predict(pcKey(si.pc));
+                bp_.update(pcKey(si.pc), si.taken);
+            }
+            if (si.taken && !btb_.hit(pcKey(si.pc)))
+                btb_.install(pcKey(si.pc), si.next_pc);
+        }
+        if (si.is_mem && si.size != 0)
+            hier_.warmAccess(si.addr, pcKey(si.pc), clock, si.is_store);
+        if (digest_)
+            digest_->retire(commitRecordOf(si));
+    }
+    return n;
 }
 
 } // namespace vrsim

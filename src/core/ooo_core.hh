@@ -158,6 +158,60 @@ class OooCore
     CoreStats run(uint64_t max_insts = 0)
     { return run(CpuState{}, max_insts); }
 
+    /**
+     * One detailed window of a segmented (sampled) run: like run(),
+     * but advances @p state in place and starts the pipeline clock at
+     * @p clock instead of 0 — cache LRU recency, calendar reservations
+     * and the monotone retire horizon all continue from the previous
+     * window. On return @p clock holds the window's final cycle; the
+     * returned CoreStats covers this window only (cycles relative to
+     * entry). The pipeline itself restarts empty each window, which is
+     * why SamplingPlan runs detailed-warm instructions before each
+     * measured window (docs/sampling.md).
+     */
+    CoreStats runFrom(CpuState &state, uint64_t max_insts,
+                      uint64_t warmup_insts, Cycle &clock,
+                      const std::function<void()> &at_warmup = {});
+
+    /**
+     * Timing-free functional fast-forward of up to @p max_insts
+     * instructions. With @p warm set, each instruction also warms the
+     * timing-relevant-but-timing-free state: L1I/L1D/L2/L3 tags and
+     * LRU recency (via MemoryHierarchy::warmAccess), the branch
+     * predictor, and the BTB, with @p clock advancing one cycle per
+     * instruction so recency stays ordered against detailed windows.
+     * With @p warm clear this is the native-speed interpreter loop and
+     * @p clock is untouched. Either way an attached digest receives
+     * every instruction exactly as the detailed commit path would.
+     *
+     * @return instructions executed (short only on program halt).
+     */
+    uint64_t fastForward(CpuState &state, uint64_t max_insts,
+                         Cycle &clock, bool warm);
+
+    /**
+     * Copyable snapshot of the core-side warm state (branch predictor,
+     * BTB, L1I tags); the memory-side counterpart is
+     * MemoryHierarchy::warmSnapshot(). Only meaningful at a quiesced
+     * window boundary (no in-flight calendar state is captured).
+     */
+    struct WarmState
+    {
+        BranchPredictor bp;
+        Btb btb;
+        CacheArray l1i;
+    };
+
+    WarmState warmSnapshot() const { return WarmState{bp_, btb_, l1i_}; }
+
+    void
+    warmRestore(const WarmState &s)
+    {
+        bp_ = s.bp;
+        btb_ = s.btb;
+        l1i_ = s.l1i;
+    }
+
     const BranchPredictor &branchPredictor() const { return bp_; }
     const Btb &btb() const { return btb_; }
 

@@ -143,6 +143,7 @@ RunPlan::points() const
                     p.hscale = hscale_;
                     p.max_insts = roi_ + warmup_;
                     p.warmup = warmup_;
+                    p.sampling = sampling_;
                     p.inject_fail =
                         inject_fail_ && *inject_fail_ == col.tech;
                     if (p.inject_fail) {

@@ -109,6 +109,7 @@ struct RunPoint
     HpcDbScale hscale;
     uint64_t max_insts = 0;
     uint64_t warmup = 0;
+    SamplingPlan sampling;     //!< fast-forward / interval sampling
     bool inject_fail = false;  //!< raise inject_kind instead of running
     InjectKind inject_kind = InjectKind::None;
     uint32_t inject_arg = 0;   //!< exit code / signal for exit, killself
@@ -161,6 +162,26 @@ class RunPlan
         return *this;
     }
 
+    /** Functional fast-forward prefix before every point's ROI. */
+    RunPlan &
+    ffInsts(uint64_t insts)
+    {
+        sampling_.ff_insts = insts;
+        return *this;
+    }
+
+    /**
+     * Fast-forward / interval-sampling plan applied to every point
+     * (docs/sampling.md). Replaces any previously set ffInsts().
+     */
+    RunPlan &
+    sample(const SamplingPlan &plan)
+    {
+        plan.validate();
+        sampling_ = plan;
+        return *this;
+    }
+
     /**
      * Append a grid: every spec × column × variant combination. With
      * no variants the base configuration is used. Returns *this so
@@ -210,6 +231,7 @@ class RunPlan
     HpcDbScale hscale_;
     uint64_t roi_ = 150'000;
     uint64_t warmup_ = 0;
+    SamplingPlan sampling_;
     std::optional<Technique> inject_fail_;
     InjectKind inject_kind_ = InjectKind::Panic;
     uint32_t inject_arg_ = 0;

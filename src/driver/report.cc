@@ -21,6 +21,23 @@ buildRegistry(const SimResult &r)
         r.vr->registerIn(reg);
     if (r.dvr)
         r.dvr->registerIn(reg);
+    if (r.sample) {
+        reg.addCounter("sample.intervals",
+                       "completed detailed-measure windows") +=
+            r.sample->intervals;
+        reg.addCounter("sample.ff_insts",
+                       "functionally fast-forwarded instructions") +=
+            r.sample->ff_insts;
+        reg.addCounter("sample.warm_insts",
+                       "detailed-warm instructions excluded from "
+                       "statistics") += r.sample->warm_insts;
+        reg.addSample("sample.cpi",
+                      "per-interval CPI of the detailed-measure "
+                      "windows (mean, stddev, 95% CI); sampled IPC "
+                      "is 1/mean")
+            .setMoments(r.sample->cpi_sum, r.sample->cpi_sumsq,
+                        r.sample->intervals);
+    }
     // Host-side timing is wall-clock and therefore nondeterministic;
     // it only enters reports when profiling columns are opted into
     // (--profile / VRSIM_PROFILE), keeping default output
@@ -33,6 +50,18 @@ buildRegistry(const SimResult &r)
                      "simulated Minsts per host second") =
             r.host_seconds > 0.0
                 ? double(r.core.instructions) / r.host_seconds / 1e6
+                : 0.0;
+        reg.addGauge("host.ff_seconds",
+                     "host wall time in functional fast-forward "
+                     "segments") = r.host_ff_seconds;
+        reg.addGauge("host.detailed_seconds",
+                     "host wall time in detailed (warm + measure) "
+                     "windows") = r.host_detailed_seconds;
+        reg.addGauge("host.ff_minsts_per_sec",
+                     "functionally fast-forwarded Minsts per host "
+                     "second") =
+            r.host_ff_seconds > 0.0 && r.sample
+                ? double(r.sample->ff_insts) / r.host_ff_seconds / 1e6
                 : 0.0;
     }
     return reg;
@@ -62,6 +91,20 @@ printReport(std::ostream &os, const SimResult &r,
     os << "instructions    " << r.core.instructions << "\n";
     os << "cycles          " << r.core.cycles << "\n";
     os << "IPC             " << r.ipc() << "\n";
+
+    if (r.sample && (r.sample->intervals || r.sample->ff_insts)) {
+        os << "\n-- sampling --\n";
+        os << "ff insts        " << r.sample->ff_insts << "\n";
+        if (r.sample->intervals) {
+            os << "warm insts      " << r.sample->warm_insts << "\n";
+            os << "intervals       " << r.sample->intervals << "\n";
+            os << "sampled CPI     " << r.sample->cpiMean() << " +- "
+               << r.sample->cpiCi95() << " (95% CI, stddev "
+               << r.sample->cpiStddev() << ")\n";
+            os << "sampled IPC     " << r.sample->ipcMean() << " +- "
+               << r.sample->ipcCi95() << " (95% CI, delta method)\n";
+        }
+    }
 
     auto pct = [&r](uint64_t v) {
         return r.core.cycles ? 100.0 * double(v) / double(r.core.cycles)

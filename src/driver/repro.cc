@@ -264,6 +264,30 @@ dvrStatsFromJson(const JsonValue &v)
 }
 
 std::string
+sampleToJson(const SampleSummary &s)
+{
+    return Obj{}
+        .field("intervals", u64(s.intervals))
+        .field("ff_insts", u64(s.ff_insts))
+        .field("warm_insts", u64(s.warm_insts))
+        .field("cpi_sum", f64(s.cpi_sum))
+        .field("cpi_sumsq", f64(s.cpi_sumsq))
+        .done();
+}
+
+SampleSummary
+sampleFromJson(const JsonValue &v)
+{
+    SampleSummary s;
+    s.intervals = v.at("intervals").asU64();
+    s.ff_insts = v.at("ff_insts").asU64();
+    s.warm_insts = v.at("warm_insts").asU64();
+    s.cpi_sum = v.at("cpi_sum").asF64();
+    s.cpi_sumsq = v.at("cpi_sumsq").asF64();
+    return s;
+}
+
+std::string
 digestToJson(const DigestRecord &d)
 {
     std::string iv = "[";
@@ -527,6 +551,10 @@ resultToJsonBody(const SimResult &r)
         o.field("dvr", dvrStatsToJson(*r.dvr));
     if (r.digest)
         o.field("digest", digestToJson(*r.digest));
+    // Sampled runs only (only-when-set keeps pre-sampling journals
+    // and bundles byte-identical).
+    if (r.sample)
+        o.field("sample", sampleToJson(*r.sample));
     return o.done();
 }
 
@@ -553,6 +581,8 @@ resultFromJsonValue(const JsonValue &v)
         r.dvr = dvrStatsFromJson(*p);
     if (const JsonValue *p = v.find("digest"))
         r.digest = digestFromJson(*p);
+    if (const JsonValue *p = v.find("sample"))
+        r.sample = sampleFromJson(*p);
     return r;
 }
 
@@ -581,8 +611,17 @@ pointToJsonBody(const RunPoint &p)
             .field("seed", u64(p.hscale.seed))
             .done())
         .field("max_insts", u64(p.max_insts))
-        .field("warmup", u64(p.warmup))
-        .field("inject_fail", boolean(p.inject_fail));
+        .field("warmup", u64(p.warmup));
+    // Only-when-set: points without a sampling plan keep their
+    // pre-sampling serialization (and plan fingerprints) unchanged.
+    if (p.sampling.enabled())
+        o.field("sampling", Obj{}
+            .field("ff_insts", u64(p.sampling.ff_insts))
+            .field("period", u64(p.sampling.period))
+            .field("detail", u64(p.sampling.detail))
+            .field("warm", u64(p.sampling.warm))
+            .done());
+    o.field("inject_fail", boolean(p.inject_fail));
     if (p.inject_fail) {
         o.field("inject_kind", str(injectKindName(p.inject_kind)));
         if (p.inject_arg)
@@ -616,6 +655,13 @@ pointFromJsonValue(const JsonValue &v)
     p.hscale.seed = h.at("seed").asU64();
     p.max_insts = v.at("max_insts").asU64();
     p.warmup = v.at("warmup").asU64();
+    if (const JsonValue *s = v.find("sampling")) {
+        p.sampling.ff_insts = s->at("ff_insts").asU64();
+        p.sampling.period = s->at("period").asU64();
+        p.sampling.detail = s->at("detail").asU64();
+        p.sampling.warm = s->at("warm").asU64();
+        p.sampling.validate();
+    }
     p.inject_fail = v.at("inject_fail").asBool();
     p.inject_kind = p.inject_fail
         ? injectKindFromName(v.at("inject_kind").asString())
@@ -683,6 +729,12 @@ std::string
 pointToJson(const RunPoint &p)
 {
     return pointToJsonBody(p);
+}
+
+std::string
+digestRecordToJson(const DigestRecord &d)
+{
+    return digestToJson(d);
 }
 
 RunPoint

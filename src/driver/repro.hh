@@ -53,6 +53,14 @@ std::string pointToJson(const RunPoint &p);
 /** Parse a point serialized by pointToJson. */
 RunPoint pointFromJson(const std::string &what, const std::string &text);
 
+/**
+ * Serialize a committed-state digest as one-line JSON (interval,
+ * instruction count, final digest, per-interval hashes as 16-digit
+ * hex). Backs `--digest-json` so two runs' committed streams can be
+ * compared byte-for-byte from the shell (the ci.sh sampling stage).
+ */
+std::string digestRecordToJson(const DigestRecord &d);
+
 // ---- crash-repro bundles ----
 
 /** Self-contained description of one failed run. */

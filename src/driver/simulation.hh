@@ -46,6 +46,81 @@ enum class SimStatus : uint8_t
 const char *simStatusName(SimStatus s);
 
 /**
+ * SMARTS-style interval-sampling plan (docs/sampling.md). A sampled
+ * run first functionally fast-forwards @p ff_insts instructions
+ * (timing-free, native-loop speed), then covers the remaining budget
+ * in periods of @p period instructions, each split into a functional
+ * fast-forward with cache/BP warming, @p warm detailed-warm
+ * instructions (simulated in full detail, excluded from statistics),
+ * and @p detail detailed-measured instructions. Either half can be
+ * used alone: ff_insts with period == 0 is a plain prefix skip before
+ * a full-detail ROI.
+ */
+struct SamplingPlan
+{
+    uint64_t ff_insts = 0;  //!< functional prefix skip before the ROI
+    uint64_t period = 0;    //!< instructions per period (0 = off)
+    uint64_t detail = 0;    //!< detailed-measured insts per period
+    uint64_t warm = 0;      //!< detailed-warm insts per period
+
+    /** Is interval sampling (the periodic part) on? */
+    bool sampling() const { return period != 0; }
+
+    /** Does the plan change execution at all? */
+    bool enabled() const { return ff_insts != 0 || sampling(); }
+
+    /** fatal() on inconsistent geometry (detail == 0, detail + warm
+     *  exceeding period). */
+    void validate() const;
+
+    /**
+     * Parse the CLI form "N:M[:W]" — N detailed-measured instructions
+     * per period of M, with W detailed-warm instructions before each
+     * measured window (default: min(N, M - N)). fatal() on malformed
+     * or inconsistent specs.
+     */
+    static SamplingPlan parse(const std::string &spec);
+};
+
+/**
+ * Per-run summary of a sampled execution: how much ran functionally
+ * vs. in detail, and the raw moments of the per-interval CPI
+ * observations (mean / stddev / 95% CI derived on demand, Student-t
+ * for small interval counts).
+ *
+ * The sampled quantity is CPI, not IPC, exactly as in SMARTS: with
+ * fixed-length measure windows the arithmetic mean of per-interval
+ * CPI equals total measured cycles over total measured instructions
+ * (the ratio estimate of the full run's CPI), whereas a mean of
+ * per-interval IPCs is biased high on any workload whose IPC varies
+ * between intervals (Jensen: E[1/x] >= 1/E[x]). The derived ipcMean()
+ * is the reciprocal, and ipcCi95() propagates the CPI interval
+ * through the reciprocal (delta method) — see docs/sampling.md.
+ */
+struct SampleSummary
+{
+    uint64_t intervals = 0;   //!< completed detailed-measure windows
+    uint64_t ff_insts = 0;    //!< functionally executed instructions
+    uint64_t warm_insts = 0;  //!< detailed-warm insts (excluded from
+                              //!< reported statistics)
+    double cpi_sum = 0.0;     //!< sum of per-interval CPIs
+    double cpi_sumsq = 0.0;   //!< sum of squared per-interval CPIs
+
+    double cpiMean() const
+    { return intervals ? cpi_sum / double(intervals) : 0.0; }
+    double cpiStddev() const;
+    double cpiCi95() const;
+
+    double ipcMean() const
+    { return cpiMean() > 0.0 ? 1.0 / cpiMean() : 0.0; }
+    double ipcCi95() const
+    {
+        double m = cpiMean();
+        return m > 0.0 ? cpiCi95() / (m * m) : 0.0;
+    }
+};
+
+/**
  * Process exit code for a run that ended with @p status (the
  * docs/robustness.md table): 0 ok, 1 fatal, 70 panic/hang/diverged,
  * 124 timed out (the coreutils `timeout` convention), and 128+signo
@@ -68,6 +143,10 @@ struct SimResult
     double host_seconds = 0.0; //!< host wall time of the core run
                                //!< (self-profiling; never part of the
                                //!< default report output)
+    double host_ff_seconds = 0.0;       //!< host time in functional
+                                        //!< fast-forward segments
+    double host_detailed_seconds = 0.0; //!< host time in detailed
+                                        //!< (warm + measure) windows
     int term_signal = 0;       //!< terminating signal (Crashed cells
                                //!< under --isolation process; else 0)
     uint64_t rss_peak_kb = 0;  //!< child peak RSS in KiB (process
@@ -83,6 +162,10 @@ struct SimResult
 
     /** Committed-state digest, when cfg.collect_digest was set. */
     std::optional<DigestRecord> digest;
+
+    /** Sampling summary, when the run used an enabled SamplingPlan
+     *  (intervals == 0 for a plain --ff-insts prefix skip). */
+    std::optional<SampleSummary> sample;
 
     double ipc() const { return core.ipc(); }
 
@@ -114,12 +197,22 @@ SimResult runSimulation(const std::string &spec, Technique technique,
  * non-null, is attached to the hierarchy, the engine, and the core
  * for cycle-level event tracing (obs/trace.hh); statistics and
  * digests are identical with and without it.
+ *
+ * @p sampling, when enabled, turns the run into a fast-forwarded
+ * and/or interval-sampled one (docs/sampling.md): @p max_insts then
+ * bounds the detailed/sampled ROI stream after the ff_insts prefix,
+ * and combining interval sampling with @p warmup_insts is rejected
+ * (the plan's per-window warm instructions replace it). The digest,
+ * when collected, covers the full committed stream — fast-forwarded
+ * regions hash through the functional path and are byte-identical to
+ * a detailed run over the same stream.
  */
 SimResult runWorkload(Workload &w, Technique technique,
                       SystemConfig cfg, uint64_t max_insts = 0,
                       uint64_t warmup_insts = 0,
                       const DvrFeatures *dvr_features = nullptr,
-                      TraceSink *trace = nullptr);
+                      TraceSink *trace = nullptr,
+                      const SamplingPlan &sampling = {});
 
 /**
  * Fault-isolated variants: any FatalError / PanicError / HangError
@@ -130,7 +223,8 @@ SimResult runWorkload(Workload &w, Technique technique,
  */
 SimResult runWorkloadGuarded(Workload &w, Technique technique,
                              SystemConfig cfg, uint64_t max_insts = 0,
-                             uint64_t warmup_insts = 0);
+                             uint64_t warmup_insts = 0,
+                             const SamplingPlan &sampling = {});
 
 /** Guarded runSimulation (also catches workload-construction errors). */
 SimResult runSimulationGuarded(const std::string &spec,

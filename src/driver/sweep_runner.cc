@@ -113,7 +113,7 @@ SweepRunner::runPoint(const RunPoint &p, WorkloadCache &cache,
         SimResult r = runWorkload(w, p.technique, cfg, p.max_insts,
                                   p.warmup,
                                   p.features ? &*p.features : nullptr,
-                                  trace);
+                                  trace, p.sampling);
         if (p.inject_fail && r.digest) {
             // Deterministic divergence: the digest check (or a
             // replay of the resulting bundle) must flag this cell.

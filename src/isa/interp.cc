@@ -1,163 +1,27 @@
 #include "isa/interp.hh"
 
-#include <cstring>
-
 namespace vrsim
 {
 
-namespace
-{
-
-double
-asF64(uint64_t bits)
-{
-    double d;
-    std::memcpy(&d, &bits, 8);
-    return d;
-}
-
 uint64_t
-asBits(double d)
+fastForward(const Program &prog, CpuState &state, MemoryImage &mem,
+            uint64_t max_insts, StateDigest *digest)
 {
-    uint64_t bits;
-    std::memcpy(&bits, &d, 8);
-    return bits;
-}
-
-} // namespace
-
-StepInfo
-step(const Program &prog, CpuState &state, MemoryImage &mem,
-     bool speculative)
-{
-    StepInfo info;
-    info.pc = state.pc;
-    panicIfNot(!state.halted, "stepping a halted context");
-    const Inst &inst = prog.at(state.pc);
-    info.inst = &inst;
-    uint32_t next_pc = state.pc + 1;
-
-    auto r = [&state](uint8_t reg) { return state.reg(reg); };
-    uint64_t dst = 0;
-    bool write_dst = inst.writesDst();
-
-    switch (inst.op) {
-      case Op::Nop:
-        break;
-      case Op::Halt:
-        info.halted = true;
-        state.halted = true;
-        break;
-      case Op::Movi: dst = uint64_t(inst.imm); break;
-      case Op::Mov: dst = r(inst.rs1); break;
-      case Op::Add: dst = r(inst.rs1) + r(inst.rs2); break;
-      case Op::Sub: dst = r(inst.rs1) - r(inst.rs2); break;
-      case Op::Mul: dst = r(inst.rs1) * r(inst.rs2); break;
-      case Op::Divu: {
-        uint64_t d = r(inst.rs2);
-        dst = d ? r(inst.rs1) / d : ~0ull;
-        break;
-      }
-      case Op::And: dst = r(inst.rs1) & r(inst.rs2); break;
-      case Op::Or: dst = r(inst.rs1) | r(inst.rs2); break;
-      case Op::Xor: dst = r(inst.rs1) ^ r(inst.rs2); break;
-      case Op::Shl: dst = r(inst.rs1) << (r(inst.rs2) & 63); break;
-      case Op::Shr: dst = r(inst.rs1) >> (r(inst.rs2) & 63); break;
-      case Op::Addi: dst = r(inst.rs1) + uint64_t(inst.imm); break;
-      case Op::Muli: dst = r(inst.rs1) * uint64_t(inst.imm); break;
-      case Op::Andi: dst = r(inst.rs1) & uint64_t(inst.imm); break;
-      case Op::Shli: dst = r(inst.rs1) << (inst.imm & 63); break;
-      case Op::Shri: dst = r(inst.rs1) >> (inst.imm & 63); break;
-      case Op::Hash:
-        dst = hashMix64(r(inst.rs1) ^ uint64_t(inst.imm));
-        break;
-      case Op::CmpLt:
-        dst = int64_t(r(inst.rs1)) < int64_t(r(inst.rs2));
-        break;
-      case Op::CmpLtu: dst = r(inst.rs1) < r(inst.rs2); break;
-      case Op::CmpEq: dst = r(inst.rs1) == r(inst.rs2); break;
-      case Op::CmpNe: dst = r(inst.rs1) != r(inst.rs2); break;
-      case Op::CmpLti: dst = int64_t(r(inst.rs1)) < inst.imm; break;
-      case Op::CmpEqi: dst = r(inst.rs1) == uint64_t(inst.imm); break;
-      case Op::Br:
-        info.is_branch = true;
-        info.taken = r(inst.rs1) != 0;
-        if (info.taken)
-            next_pc = uint32_t(inst.imm);
-        break;
-      case Op::Brz:
-        info.is_branch = true;
-        info.taken = r(inst.rs1) == 0;
-        if (info.taken)
-            next_pc = uint32_t(inst.imm);
-        break;
-      case Op::Jmp:
-        info.is_branch = true;
-        info.taken = true;
-        next_pc = uint32_t(inst.imm);
-        break;
-      case Op::Ld: {
-        info.is_mem = true;
-        info.size = 8;
-        info.addr = effectiveAddress(inst, r);
-        dst = mem.read64(info.addr);
-        break;
-      }
-      case Op::Ld32: {
-        info.is_mem = true;
-        info.size = 4;
-        info.addr = effectiveAddress(inst, r);
-        dst = mem.read32(info.addr);
-        break;
-      }
-      case Op::St: {
-        info.is_mem = true;
-        info.is_store = true;
-        info.size = 8;
-        info.addr = effectiveAddress(inst, r);
-        info.dst_value = r(inst.rs3);
-        if (!speculative)
-            mem.write64(info.addr, info.dst_value);
-        break;
-      }
-      case Op::St32: {
-        info.is_mem = true;
-        info.is_store = true;
-        info.size = 4;
-        info.addr = effectiveAddress(inst, r);
-        info.dst_value = uint32_t(r(inst.rs3));
-        if (!speculative)
-            mem.write32(info.addr, uint32_t(info.dst_value));
-        break;
-      }
-      case Op::Pref: {
-        // Non-binding: computes the address, reads nothing.
-        info.is_mem = true;
-        info.size = 0;
-        info.addr = effectiveAddress(inst, r);
-        break;
-      }
-      case Op::FAdd:
-        dst = asBits(asF64(r(inst.rs1)) + asF64(r(inst.rs2)));
-        break;
-      case Op::FMul:
-        dst = asBits(asF64(r(inst.rs1)) * asF64(r(inst.rs2)));
-        break;
-      case Op::FDiv:
-        dst = asBits(asF64(r(inst.rs1)) / asF64(r(inst.rs2)));
-        break;
-      case Op::NumOps:
-        panic("invalid opcode");
+    uint64_t count = 0;
+    if (!digest) {
+        // The hot path: nothing but the inlined stepper.
+        while (!state.halted && count < max_insts) {
+            step(prog, state, mem);
+            ++count;
+        }
+        return count;
     }
-
-    if (write_dst) {
-        state.setReg(inst.rd, dst);
-        info.dst_value = dst;
+    while (!state.halted && count < max_insts) {
+        StepInfo si = step(prog, state, mem);
+        ++count;
+        digest->retire(commitRecordOf(si));
     }
-    if (!state.halted)
-        state.pc = next_pc;
-    info.next_pc = next_pc;
-    return info;
+    return count;
 }
 
 uint64_t

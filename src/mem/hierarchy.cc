@@ -137,6 +137,44 @@ MemoryHierarchy::access(uint64_t addr, uint64_t pc, Cycle cycle,
     return res;
 }
 
+void
+MemoryHierarchy::warmAccess(uint64_t addr, uint64_t pc, Cycle cycle,
+                            bool is_store)
+{
+    const uint64_t line = l1d_.lineAddr(addr);
+    // Mirror the fill path of accessInternal() — L3 then L2 on the
+    // return path, inclusive back-invalidation on L3 eviction — with
+    // the fill complete immediately. lookup() refreshes LRU recency
+    // on hits, which is the whole point of warming.
+    if (!l1d_.lookup(line, cycle)) {
+        if (!l2_.lookup(line, cycle)) {
+            if (!l3_.lookup(line, cycle)) {
+                auto ev3 = l3_.insert(line, cycle, cycle,
+                                      Requester::Demand);
+                if (ev3) {
+                    l2_.invalidate(ev3->tag);
+                    l1d_.invalidate(ev3->tag);
+                }
+            }
+            l2_.insert(line, cycle, cycle, Requester::Demand);
+        }
+        l1d_.insert(line, cycle, cycle, Requester::Demand);
+    }
+    // Keep the stride RPT's PC history continuous across fast-forward
+    // so the detailed window's prefetcher starts trained; the
+    // prefetch fills themselves are not issued (no timing to hide).
+    if (!is_store && cfg_.stride_pf.enabled && pc != 0)
+        stride_rpt_.train(pc, addr);
+    // Same for IMP: its stream/candidate/pattern tables train on the
+    // architectural values of demand loads, and its prefetched lines
+    // warm tags through this same path (observe's warm mode). A cold
+    // IMP measures too fast — fewer resident harmful prefetches.
+    // pc == 0 cannot recurse: warm-mode prefetch fills come back in
+    // here with pc 0 and stop at the guards above.
+    if (!is_store && imp_ && pc != 0)
+        imp_->observe(pc, addr, image_.read64(addr), 8, cycle, true);
+}
+
 AccessResult
 MemoryHierarchy::accessInternal(uint64_t addr, Cycle cycle, bool is_store,
                                 Requester who)

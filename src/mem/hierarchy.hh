@@ -130,6 +130,21 @@ struct MemStats
 };
 
 /**
+ * Copyable snapshot of the hierarchy's warmable state: the three tag
+ * arrays and the stride RPT. Deliberately excludes the calendar-backed
+ * resources (ports, MSHRs, DRAM) — a checkpoint is only meaningful at
+ * a quiesced window boundary, where no reservation is in flight (see
+ * docs/sampling.md).
+ */
+struct MemWarmState
+{
+    CacheArray l1d;
+    CacheArray l2;
+    CacheArray l3;
+    StrideRpt stride_rpt;
+};
+
+/**
  * Timing model of the memory system. Data values live in the
  * functional MemoryImage; the hierarchy answers "when is this byte
  * usable" and maintains all occupancy/traffic accounting.
@@ -152,6 +167,36 @@ class MemoryHierarchy
      */
     AccessResult access(uint64_t addr, uint64_t pc, Cycle cycle,
                         bool is_store, Requester who);
+
+    /**
+     * Warmup-only access mode for functional fast-forward: install
+     * @p addr's line through L1D/L2/L3 (inclusive, tags + LRU recency
+     * only, fill complete at @p cycle) and train the stride RPT on
+     * demand loads, touching no ports, MSHRs, DRAM bandwidth, or
+     * statistics — timing and accounting are exactly as if the access
+     * never happened, but the next detailed window starts against
+     * warm tag state. @p cycle must be monotone with the detailed
+     * windows' clock so LRU timestamps stay ordered.
+     */
+    void warmAccess(uint64_t addr, uint64_t pc, Cycle cycle,
+                    bool is_store);
+
+    /** Snapshot the warmable state (see MemWarmState). */
+    MemWarmState
+    warmSnapshot() const
+    {
+        return MemWarmState{l1d_, l2_, l3_, stride_rpt_};
+    }
+
+    /** Restore a warmSnapshot() taken from this hierarchy. */
+    void
+    warmRestore(const MemWarmState &s)
+    {
+        l1d_ = s.l1d;
+        l2_ = s.l2;
+        l3_ = s.l3;
+        stride_rpt_ = s.stride_rpt;
+    }
 
     /** Probe-only: would @p addr hit in L1D right now? */
     bool inL1(uint64_t addr) const;

@@ -50,7 +50,7 @@ ImpPrefetcher::allocStream(uint64_t pc)
 
 void
 ImpPrefetcher::observe(uint64_t pc, uint64_t addr, uint64_t value,
-                       uint8_t size, Cycle cycle)
+                       uint8_t size, Cycle cycle, bool warm)
 {
     ++tick_;
 
@@ -138,8 +138,14 @@ ImpPrefetcher::observe(uint64_t pc, uint64_t addr, uint64_t value,
                 int64_t(addr) + s->stride * int64_t(cfg_.prefetch_distance));
             // Cover the index stream itself so the future index line
             // is on chip by the time its iteration's prefetch fires.
-            hier_.accessInternal(future_addr, cycle, false,
-                                 Requester::Imp);
+            // Warm mode fills tags only (pc 0: no RPT training, no
+            // stats) — the line lands instantly, matching where a
+            // detailed run's prefetch would have left it.
+            if (warm)
+                hier_.warmAccess(future_addr, 0, cycle, false);
+            else
+                hier_.accessInternal(future_addr, cycle, false,
+                                     Requester::Imp);
             // Real IMP reads index values out of cache lines it has
             // already fetched; it cannot conjure values from DRAM.
             // Only compute the indirect target if the index line is
@@ -150,8 +156,13 @@ ImpPrefetcher::observe(uint64_t pc, uint64_t addr, uint64_t value,
                 ? image_.read32(future_addr) : image_.read64(future_addr);
             uint64_t target =
                 p.base + future_value * uint64_t(p.coeff);
-            hier_.accessInternal(target, cycle, false, Requester::Imp);
-            ++issued_;
+            if (warm) {
+                hier_.warmAccess(target, 0, cycle, false);
+            } else {
+                hier_.accessInternal(target, cycle, false,
+                                     Requester::Imp);
+                ++issued_;
+            }
         }
     }
 }

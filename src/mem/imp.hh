@@ -36,9 +36,18 @@ class ImpPrefetcher
     ImpPrefetcher(const ImpConfig &cfg, MemoryHierarchy &hier,
                   MemoryImage &image);
 
-    /** Observe a committed demand load (pc, addr, loaded value). */
+    /**
+     * Observe a committed demand load (pc, addr, loaded value). In
+     * @p warm mode (functional fast-forward with warming,
+     * docs/sampling.md) the tables train identically, but prefetches
+     * fill tags through warmAccess() instead of occupying MSHRs/DRAM
+     * bandwidth, and the issued counter is untouched — so sampled
+     * runs enter detailed windows with the pattern tables and
+     * prefetched lines a continuous detailed run would have, without
+     * perturbing statistics.
+     */
     void observe(uint64_t pc, uint64_t addr, uint64_t value, uint8_t size,
-                 Cycle cycle);
+                 Cycle cycle, bool warm = false);
 
     /** Number of established indirect patterns (for tests). */
     size_t patterns() const { return patterns_.size(); }

@@ -14,8 +14,52 @@ statKindName(StatKind k)
       case StatKind::Average: return "average";
       case StatKind::Histogram: return "histogram";
       case StatKind::Formula: return "formula";
+      case StatKind::Sample: return "sample";
     }
     panic("unknown StatKind");
+}
+
+double
+studentT95(uint64_t dof)
+{
+    // Two-sided 95% critical values. Exact through 30 dof, then the
+    // textbook coarse rows; the n -> inf limit is the normal 1.96.
+    static constexpr double kSmall[31] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (dof == 0)
+        return 0.0;
+    if (dof <= 30)
+        return kSmall[dof];
+    if (dof <= 40)
+        return 2.021;
+    if (dof <= 60)
+        return 2.000;
+    if (dof <= 120)
+        return 1.980;
+    return 1.960;
+}
+
+double
+momentsStddev(double sum, double sumsq, uint64_t n)
+{
+    if (n < 2)
+        return 0.0;
+    double mean = sum / double(n);
+    double var = (sumsq - sum * mean) / double(n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+momentsCi95(double sum, double sumsq, uint64_t n)
+{
+    if (n < 2)
+        return 0.0;
+    return studentT95(n - 1) * momentsStddev(sum, sumsq, n) /
+           std::sqrt(double(n));
 }
 
 namespace
@@ -49,7 +93,8 @@ void
 StatNode::sample(double v, uint64_t weight)
 {
     panicIfNot(kind_ == StatKind::Average ||
-                   kind_ == StatKind::Histogram,
+                   kind_ == StatKind::Histogram ||
+                   kind_ == StatKind::Sample,
                "sample() on non-sampling stat node " + path_);
     sum_ += v * double(weight);
     samples_ += weight;
@@ -59,6 +104,34 @@ StatNode::sample(double v, uint64_t weight)
             idx = buckets_.size() - 1;
         buckets_[idx] += weight;
     }
+    if (kind_ == StatKind::Sample)
+        sumsq_ += v * v * double(weight);
+}
+
+double
+StatNode::stddev() const
+{
+    panicIfNot(kind_ == StatKind::Sample,
+               "stddev() on non-sample stat node " + path_);
+    return momentsStddev(sum_, sumsq_, samples_);
+}
+
+double
+StatNode::ci95() const
+{
+    panicIfNot(kind_ == StatKind::Sample,
+               "ci95() on non-sample stat node " + path_);
+    return momentsCi95(sum_, sumsq_, samples_);
+}
+
+void
+StatNode::setMoments(double sum, double sumsq, uint64_t n)
+{
+    panicIfNot(kind_ == StatKind::Sample,
+               "setMoments() on non-sample stat node " + path_);
+    sum_ = sum;
+    sumsq_ = sumsq;
+    samples_ = n;
 }
 
 double
@@ -71,6 +144,7 @@ StatNode::value(const StatsRegistry &reg) const
         return gauge_;
       case StatKind::Average:
       case StatKind::Histogram:
+      case StatKind::Sample:
         return samples_ ? sum_ / double(samples_) : 0.0;
       case StatKind::Formula:
         return formula_(reg);
@@ -117,6 +191,13 @@ StatsRegistry::addAverage(const std::string &path,
                           const std::string &desc)
 {
     return add(StatKind::Average, path, desc);
+}
+
+StatNode &
+StatsRegistry::addSample(const std::string &path,
+                         const std::string &desc)
+{
+    return add(StatKind::Sample, path, desc);
 }
 
 StatNode &
@@ -244,6 +325,15 @@ StatsRegistry::dumpJson(std::ostream &os) const
             for (size_t i = 0; i < b.size(); i++)
                 os << (i ? ", " : "") << b[i];
             os << "]}";
+        } else if (n.kind() == StatKind::Sample) {
+            os << "{\"mean\": ";
+            jsonNumber(os, n.value(*this));
+            os << ", \"n\": " << n.samples();
+            os << ", \"stddev\": ";
+            jsonNumber(os, n.stddev());
+            os << ", \"ci95\": ";
+            jsonNumber(os, n.ci95());
+            os << "}";
         } else {
             jsonNumber(os, n.value(*this));
         }

@@ -38,10 +38,28 @@ enum class StatKind : uint8_t
     Average,    //!< arithmetic mean over samples
     Histogram,  //!< fixed-width bucket distribution
     Formula,    //!< value computed from other nodes on read
+    Sample,     //!< mean + spread over independent observations,
+                //!< reported with a 95% confidence interval
 };
 
 /** Printable kind name ("counter", "gauge", ...). */
 const char *statKindName(StatKind k);
+
+/**
+ * Two-sided 95% Student-t critical value for @p dof degrees of
+ * freedom (tabulated through 30, then the common coarse steps,
+ * converging to the normal 1.96). Used by Sample nodes to widen small-
+ * n confidence intervals honestly.
+ */
+double studentT95(uint64_t dof);
+
+/** Sample standard deviation from raw moments (n-1 denominator;
+ *  0 when n < 2). */
+double momentsStddev(double sum, double sumsq, uint64_t n);
+
+/** Half-width of the 95% confidence interval of the mean from raw
+ *  moments: t_{.95, n-1} * stddev / sqrt(n) (0 when n < 2). */
+double momentsCi95(double sum, double sumsq, uint64_t n);
 
 /**
  * One registered statistic. Nodes live inside the registry; the
@@ -79,11 +97,23 @@ class StatNode
         return *this;
     }
 
-    // -- Average / Histogram --
+    // -- Average / Histogram / Sample --
     void sample(double v, uint64_t weight = 1);
     uint64_t samples() const { return samples_; }
     const std::vector<uint64_t> &buckets() const { return buckets_; }
     double bucketWidth() const { return bucket_width_; }
+
+    // -- Sample --
+    /** Sample standard deviation (n-1 denominator; 0 when n < 2). */
+    double stddev() const;
+    /** Half-width of the 95% CI of the mean (Student-t). */
+    double ci95() const;
+    /**
+     * Restore a Sample node from previously accumulated raw moments
+     * (sum, sum of squares, count) — how a serialized SampleSummary
+     * re-enters the registry without replaying every observation.
+     */
+    void setMoments(double sum, double sumsq, uint64_t n);
 
     /**
      * The node's scalar value: Counter -> count, Gauge -> value,
@@ -104,8 +134,9 @@ class StatNode
 
     uint64_t count_ = 0;        //!< Counter
     double gauge_ = 0.0;        //!< Gauge
-    double sum_ = 0.0;          //!< Average/Histogram sample sum
-    uint64_t samples_ = 0;      //!< Average/Histogram sample count
+    double sum_ = 0.0;          //!< Average/Histogram/Sample sum
+    uint64_t samples_ = 0;      //!< Average/Histogram/Sample count
+    double sumsq_ = 0.0;        //!< Sample sum of squares
     double bucket_width_ = 1.0; //!< Histogram geometry
     std::vector<uint64_t> buckets_;
     FormulaFn formula_;
@@ -138,6 +169,15 @@ class StatsRegistry
     /** Register an arithmetic-mean statistic. */
     StatNode &addAverage(const std::string &path,
                          const std::string &desc = "");
+
+    /**
+     * Register a sampled statistic over independent observations
+     * (e.g. per-interval IPC under SMARTS sampling): reports mean,
+     * sample stddev and the 95% confidence interval of the mean, and
+     * dumps as {"mean":, "n":, "stddev":, "ci95":} in JSON.
+     */
+    StatNode &addSample(const std::string &path,
+                        const std::string &desc = "");
 
     /** Register a fixed-width histogram over [0, buckets*width) plus
      *  an overflow bucket. */
@@ -175,9 +215,9 @@ class StatsRegistry
 
     /**
      * JSON object {"path": value, ...} in path order; histograms dump
-     * as {"mean":, "total":, "bucket_width":, "buckets": [...]}.
-     * Parseable by sim/parse.hh's strict JsonValue reader
-     * (round-trip tested).
+     * as {"mean":, "total":, "bucket_width":, "buckets": [...]} and
+     * sample nodes as {"mean":, "n":, "stddev":, "ci95":}. Parseable
+     * by sim/parse.hh's strict JsonValue reader (round-trip tested).
      */
     void dumpJson(std::ostream &os) const;
 

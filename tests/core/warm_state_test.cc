@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests of the warm-state checkpoints behind interval sampling
+ * (docs/sampling.md): a MemWarmState + OooCore::WarmState snapshot
+ * taken at a quiesced window boundary must let a fresh core/hierarchy
+ * reproduce the exact timing of the detailed window the original run
+ * would have measured, and warming fast-forward must leave
+ * architectural state and statistics untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ooo_core.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+/**
+ * A load/store loop over hashed addresses in a 256 KiB region: big
+ * enough to spill L1D, with a data-dependent branch so the BP/BTB
+ * warm state matters too.
+ */
+Program
+chaseProgram()
+{
+    ProgramBuilder b("chase");
+    b.movi(1, 0);               // i
+    b.movi(2, 0x100000);        // data region base
+    b.movi(4, 1'000'000'000);   // bound (budget stops us first)
+    auto top = b.here();
+    b.hash(5, 1, 17);
+    b.andi(5, 5, (1 << 18) - 8);  // 8-aligned offset in 256 KiB
+    b.add(5, 5, 2);
+    b.ld(6, 5);
+    b.add(7, 7, 6);
+    b.st(7, 5);
+    b.andi(8, 6, 1);            // data-dependent branch
+    auto skip = b.makeLabel();
+    b.brz(8, skip);
+    b.addi(7, 7, 3);
+    b.bind(skip);
+    b.addi(1, 1, 1);
+    b.cmpltu(8, 1, 4);
+    b.br(8, top);
+    b.halt();
+    return b.build();
+}
+
+struct Rig
+{
+    Program prog = chaseProgram();
+    MemoryImage img;
+    SystemConfig cfg = SystemConfig::paper();
+    MemoryHierarchy hier;
+    OooCore core;
+
+    Rig() : hier(cfg, img), core(cfg, prog, img, hier) {}
+};
+
+TEST(WarmStateTest, WarmingFastForwardPreservesArchitecture)
+{
+    // Warming FF and plain FF commit identical architectural streams;
+    // only the clock (and cache/BP contents) differ.
+    Rig warm, plain;
+    CpuState sw, sp;
+    Cycle cw = 100, cp = 100;
+
+    uint64_t nw = warm.core.fastForward(sw, 5000, cw, /*warm=*/true);
+    uint64_t np = plain.core.fastForward(sp, 5000, cp, /*warm=*/false);
+
+    EXPECT_EQ(nw, 5000u);
+    EXPECT_EQ(np, 5000u);
+    EXPECT_EQ(cw, 100u + 5000u);  // warm FF ticks the clock...
+    EXPECT_EQ(cp, 100u);          // ...plain FF leaves it alone
+    EXPECT_EQ(sw.pc, sp.pc);
+    for (size_t r = 0; r < sw.regs.size(); r++)
+        EXPECT_EQ(sw.regs[r], sp.regs[r]) << "reg " << r;
+}
+
+TEST(WarmStateTest, WarmingFastForwardLeavesStatisticsUntouched)
+{
+    Rig rig;
+    CpuState s;
+    Cycle clock = 0;
+    rig.core.fastForward(s, 5000, clock, /*warm=*/true);
+
+    // Warming touches tags and predictors only — the statistics a
+    // measured window reports must start from zero.
+    const MemStats ms = rig.hier.stats();
+    EXPECT_EQ(ms.demand_accesses, 0u);
+    EXPECT_EQ(ms.demand_l1_hits, 0u);
+    EXPECT_EQ(ms.demand_mem, 0u);
+    EXPECT_EQ(ms.dramTotal(), 0u);
+}
+
+TEST(WarmStateTest, RestoredCheckpointReproducesDetailedWindow)
+{
+    // The sampling contract: snapshot at a window boundary, and a
+    // fresh core/hierarchy restored from it measures the exact same
+    // detailed window (cycle-for-cycle) as the live run.
+    Rig live;
+    CpuState s;
+    Cycle clock = 0;
+    live.core.fastForward(s, 8000, clock, /*warm=*/true);
+
+    const MemWarmState mem_ckpt = live.hier.warmSnapshot();
+    const OooCore::WarmState core_ckpt = live.core.warmSnapshot();
+    CpuState s_ckpt = s;
+    Cycle clock_ckpt = clock;
+
+    CoreStats a = live.core.runFrom(s, 4000, 0, clock);
+
+    Rig fresh;
+    fresh.hier.warmRestore(mem_ckpt);
+    fresh.core.warmRestore(core_ckpt);
+    CpuState s2 = s_ckpt;
+    Cycle clock2 = clock_ckpt;
+    CoreStats b = fresh.core.runFrom(s2, 4000, 0, clock2);
+
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.btb_misses, b.btb_misses);
+    EXPECT_EQ(a.icache_misses, b.icache_misses);
+    EXPECT_EQ(a.rob_stall_cycles, b.rob_stall_cycles);
+    EXPECT_EQ(clock, clock2);
+    EXPECT_EQ(s.pc, s2.pc);
+    for (size_t r = 0; r < s.regs.size(); r++)
+        EXPECT_EQ(s.regs[r], s2.regs[r]) << "reg " << r;
+
+    const MemStats ma = live.hier.stats(), mb = fresh.hier.stats();
+    EXPECT_EQ(ma.demand_accesses, mb.demand_accesses);
+    EXPECT_EQ(ma.demand_l1_hits, mb.demand_l1_hits);
+    EXPECT_EQ(ma.demand_l2_hits, mb.demand_l2_hits);
+    EXPECT_EQ(ma.demand_l3_hits, mb.demand_l3_hits);
+    EXPECT_EQ(ma.demand_mem, mb.demand_mem);
+    EXPECT_EQ(ma.demand_latency_sum, mb.demand_latency_sum);
+}
+
+TEST(WarmStateTest, CheckpointIsACopyNotAReference)
+{
+    // Mutating the live structures after the snapshot must not change
+    // what a restore reproduces.
+    Rig live;
+    CpuState s;
+    Cycle clock = 0;
+    live.core.fastForward(s, 4000, clock, /*warm=*/true);
+
+    const MemWarmState mem_ckpt = live.hier.warmSnapshot();
+    const OooCore::WarmState core_ckpt = live.core.warmSnapshot();
+    CpuState s_ckpt = s;
+    Cycle clock_ckpt = clock;
+
+    // Reference window from an immediate restore into a fresh rig.
+    Rig ref;
+    ref.hier.warmRestore(mem_ckpt);
+    ref.core.warmRestore(core_ckpt);
+    CpuState sr = s_ckpt;
+    Cycle cr = clock_ckpt;
+    CoreStats want = ref.core.runFrom(sr, 2000, 0, cr);
+
+    // Perturb the live rig thoroughly, then restore and re-measure.
+    live.core.fastForward(s, 20000, clock, /*warm=*/true);
+    Rig again;
+    again.hier.warmRestore(mem_ckpt);
+    again.core.warmRestore(core_ckpt);
+    CpuState sa = s_ckpt;
+    Cycle ca = clock_ckpt;
+    CoreStats got = again.core.runFrom(sa, 2000, 0, ca);
+
+    EXPECT_EQ(want.cycles, got.cycles);
+    EXPECT_EQ(want.instructions, got.instructions);
+    EXPECT_EQ(want.mispredicts, got.mispredicts);
+    EXPECT_EQ(cr, ca);
+}
+
+} // namespace
+} // namespace vrsim

@@ -100,6 +100,49 @@ TEST(ReproRoundTripTest, PlainPointOmitsOptionals)
     EXPECT_FALSE(q.inject_fail);
 }
 
+TEST(ReproRoundTripTest, SamplingFieldsRoundTrip)
+{
+    RunPoint p = richPoint();
+    p.inject_fail = false;
+    p.warmup = 0;  // interval sampling replaces the global warmup
+    p.sampling = SamplingPlan{256, 2000, 400, 100};
+    std::string json = pointToJson(p);
+    EXPECT_NE(json.find("\"sampling\":"), std::string::npos);
+    RunPoint q = pointFromJson("sampled point", json);
+    EXPECT_EQ(pointToJson(q), json);
+    EXPECT_EQ(q.sampling.ff_insts, 256u);
+    EXPECT_EQ(q.sampling.period, 2000u);
+    EXPECT_EQ(q.sampling.detail, 400u);
+    EXPECT_EQ(q.sampling.warm, 100u);
+
+    // A live sampled run's summary survives the journal round-trip.
+    WorkloadCache cache;
+    SimResult r = SweepRunner::runPoint(q, cache);
+    ASSERT_TRUE(r.ok()) << r.status_message;
+    ASSERT_TRUE(r.sample.has_value());
+    EXPECT_GT(r.sample->intervals, 0u);
+    std::string rjson = resultToJson(r);
+    EXPECT_NE(rjson.find("\"sample\":"), std::string::npos);
+    SimResult s = resultFromJson("sampled result", rjson);
+    EXPECT_EQ(resultToJson(s), rjson);
+    ASSERT_TRUE(s.sample.has_value());
+    EXPECT_EQ(s.sample->intervals, r.sample->intervals);
+    EXPECT_EQ(s.sample->ff_insts, r.sample->ff_insts);
+    EXPECT_EQ(s.sample->warm_insts, r.sample->warm_insts);
+    EXPECT_DOUBLE_EQ(s.sample->cpi_sum, r.sample->cpi_sum);
+    EXPECT_DOUBLE_EQ(s.sample->cpi_sumsq, r.sample->cpi_sumsq);
+}
+
+TEST(ReproRoundTripTest, UnsampledSerializationIsUnchanged)
+{
+    // Pre-sampling journals and bundles must stay byte-identical:
+    // the new keys only appear when a plan/summary is actually set.
+    EXPECT_EQ(pointToJson(richPoint()).find("\"sampling\":"),
+              std::string::npos);
+    EXPECT_EQ(resultToJson(smallResult()).find("\"sample\":"),
+              std::string::npos);
+}
+
 TEST(ReproRoundTripTest, ResultJsonIsExact)
 {
     SimResult r = smallResult();

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests of the Sample stat kind: mean / sample-stddev / Student-t
+ * 95% confidence intervals against hand-computed references, the
+ * moments helpers, the setMoments() restore path, and the JSON dump
+ * shape — the error bars the sampling subsystem reports must be
+ * arithmetic, not vibes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/stats_registry.hh"
+
+namespace vrsim
+{
+namespace
+{
+
+TEST(SampleStatTest, StudentT95Table)
+{
+    EXPECT_DOUBLE_EQ(studentT95(0), 0.0);
+    EXPECT_DOUBLE_EQ(studentT95(1), 12.706);
+    EXPECT_DOUBLE_EQ(studentT95(2), 4.303);
+    EXPECT_DOUBLE_EQ(studentT95(9), 2.262);
+    EXPECT_DOUBLE_EQ(studentT95(30), 2.042);
+    EXPECT_DOUBLE_EQ(studentT95(35), 2.021);
+    EXPECT_DOUBLE_EQ(studentT95(50), 2.000);
+    EXPECT_DOUBLE_EQ(studentT95(100), 1.980);
+    EXPECT_DOUBLE_EQ(studentT95(1000), 1.960);
+    // Monotone non-increasing: more samples never widen the interval.
+    for (uint64_t dof = 2; dof < 200; dof++)
+        EXPECT_LE(studentT95(dof), studentT95(dof - 1)) << dof;
+}
+
+TEST(SampleStatTest, MomentsAgainstHandComputed)
+{
+    // Observations 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample variance
+    // 32/7, stddev sqrt(32/7).
+    const double obs[] = {2, 4, 4, 4, 5, 5, 7, 9};
+    double sum = 0, sumsq = 0;
+    for (double v : obs) {
+        sum += v;
+        sumsq += v * v;
+    }
+    EXPECT_DOUBLE_EQ(sum / 8.0, 5.0);
+    double stddev = momentsStddev(sum, sumsq, 8);
+    EXPECT_NEAR(stddev, std::sqrt(32.0 / 7.0), 1e-12);
+    // ci95 = t(7) * stddev / sqrt(8), t(7) = 2.365.
+    EXPECT_NEAR(momentsCi95(sum, sumsq, 8),
+                2.365 * stddev / std::sqrt(8.0), 1e-12);
+}
+
+TEST(SampleStatTest, DegenerateCounts)
+{
+    EXPECT_DOUBLE_EQ(momentsStddev(0, 0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(momentsStddev(5, 25, 1), 0.0);
+    EXPECT_DOUBLE_EQ(momentsCi95(5, 25, 1), 0.0);
+    // Identical observations: zero spread, zero CI.
+    EXPECT_DOUBLE_EQ(momentsStddev(9, 27, 3), 0.0);
+    EXPECT_DOUBLE_EQ(momentsCi95(9, 27, 3), 0.0);
+    // Catastrophic-cancellation guard: sumsq marginally below the
+    // analytic minimum must clamp to 0, not NaN.
+    EXPECT_DOUBLE_EQ(momentsStddev(9, 27.0 - 1e-13, 3), 0.0);
+}
+
+TEST(SampleStatTest, NodeAccumulatesAndReports)
+{
+    StatsRegistry reg;
+    StatNode &n = reg.addSample("test.ipc", "per-interval IPC");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        n.sample(v);
+    EXPECT_EQ(n.samples(), 4u);
+    EXPECT_DOUBLE_EQ(n.value(reg), 2.5);
+    // Sample variance of {1,2,3,4} is 5/3.
+    EXPECT_NEAR(n.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_NEAR(n.ci95(), 3.182 * n.stddev() / 2.0, 1e-12);
+}
+
+TEST(SampleStatTest, SetMomentsRestoresSerializedSummary)
+{
+    StatsRegistry a, b;
+    StatNode &live = a.addSample("s.ipc");
+    for (double v : {0.5, 0.7, 0.6, 0.9, 0.8})
+        live.sample(v);
+
+    // A summary that crossed a serialization boundary re-enters the
+    // registry through raw moments and must report identically.
+    double sum = 0.5 + 0.7 + 0.6 + 0.9 + 0.8;
+    double sumsq = 0.25 + 0.49 + 0.36 + 0.81 + 0.64;
+    StatNode &restored = b.addSample("s.ipc");
+    restored.setMoments(sum, sumsq, 5);
+
+    EXPECT_DOUBLE_EQ(restored.value(b), live.value(a));
+    EXPECT_DOUBLE_EQ(restored.stddev(), live.stddev());
+    EXPECT_DOUBLE_EQ(restored.ci95(), live.ci95());
+}
+
+TEST(SampleStatTest, JsonDumpShape)
+{
+    StatsRegistry reg;
+    StatNode &n = reg.addSample("sample.cpi");
+    n.sample(1.0);
+    n.sample(3.0);
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"sample.cpi\": {\"mean\": 2"),
+              std::string::npos) << out;
+    EXPECT_NE(out.find("\"n\": 2"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"stddev\": "), std::string::npos) << out;
+    EXPECT_NE(out.find("\"ci95\": "), std::string::npos) << out;
+}
+
+TEST(SampleStatTest, KindChecksPanic)
+{
+    StatsRegistry reg;
+    StatNode &c = reg.addCounter("plain.counter");
+    EXPECT_THROW(c.stddev(), PanicError);
+    EXPECT_THROW(c.ci95(), PanicError);
+    EXPECT_THROW(c.setMoments(1, 1, 1), PanicError);
+    StatNode &avg = reg.addAverage("plain.avg");
+    avg.sample(2.0);  // Average accepts sample()...
+    EXPECT_THROW(avg.ci95(), PanicError);  // ...but has no CI
+}
+
+} // namespace
+} // namespace vrsim

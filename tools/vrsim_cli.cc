@@ -16,6 +16,15 @@
  *                         VRSIM_JOBS or 1; 0 = hardware concurrency)
  *     --roi N             dynamic-instruction budget (default 150000)
  *     --warmup N          instructions excluded from statistics
+ *     --ff-insts N        functionally fast-forward N instructions at
+ *                         native-loop speed before the ROI (timing
+ *                         state stays cold; docs/sampling.md)
+ *     --sample N:M[:W]    SMARTS interval sampling over the ROI:
+ *                         measure N detailed instructions per period
+ *                         of M, after W detailed-warm instructions
+ *                         (default min(N, M-N)); reports mean IPC
+ *                         with a 95% confidence interval; mutually
+ *                         exclusive with --warmup
  *     --rob N             ROB entries (default 350)
  *     --mshrs N           L1D MSHRs (default 24)
  *     --lanes N           DVR scalar-equivalent lanes (default 128)
@@ -55,6 +64,11 @@
  *                         a mismatch is SimStatus::Diverged (exit 70)
  *     --digest-interval N retired instructions per digest sample
  *                         (default 8192)
+ *     --digest-json FILE  collect every run's committed-state digest
+ *                         and write them to FILE as JSON (one entry
+ *                         per plan point) — lets the shell compare two
+ *                         runs' committed streams byte for byte (the
+ *                         ci.sh sampling stage)
  *     --repro-dir DIR     write a crash-repro bundle for every failed
  *                         run into DIR
  *     --trace EVENTS:FILE cycle-level NDJSON event trace; EVENTS is a
@@ -204,14 +218,16 @@ printUsage(std::ostream &os)
     os <<
         "usage: vrsim [--workload SPEC] [--technique NAME]\n"
         "             [--all-techniques] [--jobs N] [--roi N]\n"
-        "             [--warmup N] [--rob N] [--mshrs N] [--lanes N]\n"
+        "             [--warmup N] [--ff-insts N] [--sample N:M[:W]]\n"
+        "             [--rob N] [--mshrs N] [--lanes N]\n"
         "             [--nodes N] [--degree N] [--elems N]\n"
         "             [--watchdog-cycles N] [--keep-going]\n"
         "             [--inject-fail NAME[:KIND]] [--check-digests]\n"
         "             [--isolation thread|process] [--cell-timeout S]\n"
         "             [--cell-mem-mb N] [--cell-cpu-s N] [--retries N]\n"
         "             [--backoff-ms N] [--chaos SEED:RATE]\n"
-        "             [--digest-interval N] [--repro-dir DIR]\n"
+        "             [--digest-interval N] [--digest-json FILE]\n"
+        "             [--repro-dir DIR]\n"
         "             [--trace EVENTS:FILE] [--stats-json FILE]\n"
         "             [--profile] [--replay BUNDLE]\n"
         "             [--checkpoint FILE] [--resume] [--paper-caches]\n"
@@ -247,6 +263,9 @@ main(int argc, char **argv)
     std::string replay_path;
     std::string trace_spec;
     std::string stats_json_path;
+    std::string digest_json_path;
+    std::string sample_spec;
+    uint64_t ff_insts = 0;
     bool all_techniques = false;
     bool keep_going = false;
     bool paper_caches = false;
@@ -277,6 +296,10 @@ main(int argc, char **argv)
             else if (a == "--check-digests") check_digests = true;
             else if (a == "--digest-interval")
                 cfg.digest_interval = parseU64(a, need(i));
+            else if (a == "--digest-json") digest_json_path = need(i);
+            else if (a == "--ff-insts")
+                ff_insts = parseU64(a, need(i));
+            else if (a == "--sample") sample_spec = need(i);
             else if (a == "--repro-dir") opts.repro_dir = need(i);
             else if (a == "--isolation")
                 opts.isolation = isolationFromName(need(i));
@@ -348,8 +371,18 @@ main(int argc, char **argv)
             cfg.l3 = p.l3;
         }
 
+        if (!digest_json_path.empty())
+            cfg.collect_digest = true;
+
         RunPlan plan(cfg);
         plan.scale(gscale, hscale).roi(roi).warmup(warmup);
+        {
+            SamplingPlan splan;
+            if (!sample_spec.empty())
+                splan = SamplingPlan::parse(sample_spec);
+            splan.ff_insts = ff_insts;
+            plan.sample(splan);
+        }
         if (all_techniques) {
             plan.add({spec},
                      {Technique::OoO, Technique::Pre, Technique::Imp,
@@ -417,6 +450,31 @@ main(int argc, char **argv)
                 fatal("cannot write stats-json file '" +
                       stats_json_path + "'");
             writeStatsJson(sj, table, &runner.stats());
+        }
+
+        if (!digest_json_path.empty()) {
+            std::ofstream dj(digest_json_path, std::ios::trunc);
+            if (!dj)
+                fatal("cannot write digest-json file '" +
+                      digest_json_path + "'");
+            dj << "[\n";
+            bool first = true;
+            for (size_t i = 0; i < table.size(); i++) {
+                const SimResult &r = table.results()[i];
+                if (!r.ok())
+                    continue;
+                if (!r.digest)
+                    fatal("--digest-json: run " +
+                          table.points()[i].id() +
+                          " produced no digest");
+                dj << (first ? "" : ",\n")
+                   << "{\"id\":\""
+                   << jsonEscape(table.points()[i].id())
+                   << "\",\"digest\":"
+                   << digestRecordToJson(*r.digest) << "}";
+                first = false;
+            }
+            dj << "\n]\n";
         }
 
         // Time the rendering below as the "report" phase; reset()
